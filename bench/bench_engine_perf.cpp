@@ -1,0 +1,62 @@
+// Engine micro-benchmarks: subdivision growth, LAP detection, splitting,
+// and decision-map search cost as a function of the subdivision radius.
+
+#include <benchmark/benchmark.h>
+
+#include "core/characterization.h"
+#include "core/lap.h"
+#include "solver/map_search.h"
+#include "tasks/zoo.h"
+#include "topology/subdivision.h"
+
+namespace {
+
+using namespace trichroma;
+
+void BM_ChromaticSubdivision(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    VertexPool pool;
+    SimplicialComplex base;
+    base.add(Simplex{pool.vertex(0, 0), pool.vertex(1, 1), pool.vertex(2, 2)});
+    const SubdividedComplex sub = chromatic_subdivision(pool, base, rounds);
+    benchmark::DoNotOptimize(sub.complex.count(2));
+  }
+  state.counters["facets"] = static_cast<double>(std::pow(13.0, rounds));
+}
+BENCHMARK(BM_ChromaticSubdivision)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LapDetection(benchmark::State& state) {
+  const Task task = zoo::pinwheel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_all_laps(task).size());
+  }
+}
+BENCHMARK(BM_LapDetection);
+
+void BM_CharacterizationPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    const Task task = zoo::pinwheel();
+    const CharacterizationResult result = characterize(task);
+    benchmark::DoNotOptimize(result.splits.size());
+  }
+}
+BENCHMARK(BM_CharacterizationPipeline);
+
+void BM_DecisionMapSearch(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const Task task = zoo::subdivision_task(rounds);
+  for (auto _ : state) {
+    const SubdividedComplex domain =
+        chromatic_subdivision(*task.pool, task.input, rounds);
+    MapSearchOptions options;
+    const MapSearchResult result =
+        find_decision_map(*task.pool, domain, task, options);
+    benchmark::DoNotOptimize(result.found);
+  }
+}
+BENCHMARK(BM_DecisionMapSearch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Substrate benchmarks: the shared-memory model's reduction stack (§2.1 of
+// the paper) measured end to end — primitive objects, the Afek et al.
+// register-based snapshot, the Borowsky–Gafni immediate snapshot, and the
+// full registers→Ch^r pipeline.
+
+#include <random>
+
+#include "bench_util.h"
+#include "protocols/iis.h"
+#include "runtime/derived_objects.h"
+#include "runtime/system.h"
+#include "topology/subdivision.h"
+
+namespace {
+
+using namespace trichroma;
+using namespace trichroma::runtime;
+
+ProcessBody afek_workload(AfekSnapshot<int>& snap, int pid, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    typename AfekSnapshot<int>::Update update(snap, pid, r);
+    while (!update.done()) {
+      co_await Turn{OpPhase::Single};
+      update.step();
+    }
+    typename AfekSnapshot<int>::Scan scan(snap);
+    while (!scan.done()) {
+      co_await Turn{OpPhase::Single};
+      scan.step();
+    }
+  }
+}
+
+ProcessBody bg_workload(BgImmediateSnapshot<int>& obj, int pid) {
+  typename BgImmediateSnapshot<int>::WriteSnapshot op(obj, pid, pid);
+  while (!op.done()) {
+    co_await Turn{OpPhase::Single};
+    op.step();
+  }
+}
+
+void reproduce() {
+  benchutil::header("Substrate", "the read/write reduction stack, executable");
+  benchutil::section("what runs below the topology");
+  std::printf(
+      "registers --Afek'93--> atomic snapshot --BG'93--> immediate snapshot\n"
+      "          --iterate--> Ch^r views --decision map--> task outputs\n"
+      "Tests cross-validate every layer (runtime_derived_test); timings "
+      "below.\n");
+}
+
+void BM_PrimitiveIisRound(benchmark::State& state) {
+  VertexPool pool;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    protocols::IisShared shared(3, 2);
+    std::vector<protocols::IisOutcome> outcomes(3);
+    std::vector<ProcessBody> procs;
+    procs.push_back(protocols::iis_process(shared, pool, 0, x0, 2, nullptr, outcomes[0]));
+    procs.push_back(protocols::iis_process(shared, pool, 1, x1, 2, nullptr, outcomes[1]));
+    procs.push_back(protocols::iis_process(shared, pool, 2, x2, 2, nullptr, outcomes[2]));
+    Executor ex(std::move(procs));
+    std::mt19937_64 rng(seed++);
+    ex.run_random(rng);
+    benchmark::DoNotOptimize(outcomes[0].view);
+  }
+}
+BENCHMARK(BM_PrimitiveIisRound);
+
+void BM_AfekSnapshotWorkload(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    AfekSnapshot<int> snap(3);
+    std::vector<ProcessBody> procs;
+    for (int i = 0; i < 3; ++i) procs.push_back(afek_workload(snap, i, 3));
+    Executor ex(std::move(procs));
+    std::mt19937_64 rng(seed++);
+    ex.run_random(rng, 0.0, 1'000'000);
+    benchmark::DoNotOptimize(ex.steps_taken());
+  }
+}
+BENCHMARK(BM_AfekSnapshotWorkload);
+
+void BM_BgImmediateSnapshot(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    BgImmediateSnapshot<int> obj(3);
+    std::vector<ProcessBody> procs;
+    for (int i = 0; i < 3; ++i) procs.push_back(bg_workload(obj, i));
+    Executor ex(std::move(procs));
+    std::mt19937_64 rng(seed++);
+    ex.run_random(rng, 0.0, 1'000'000);
+    benchmark::DoNotOptimize(ex.steps_taken());
+  }
+}
+BENCHMARK(BM_BgImmediateSnapshot);
+
+void BM_ExhaustiveIisSchedules(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  VertexPool pool;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  for (auto _ : state) {
+    std::size_t executions = 0;
+    for (const auto& schedule : all_iis_schedules({0, 1, 2}, rounds)) {
+      const auto outcomes = protocols::run_iis(
+          pool, {{0, x0}, {1, x1}, {2, x2}}, rounds, nullptr, schedule);
+      executions += outcomes.size();
+    }
+    benchmark::DoNotOptimize(executions);
+  }
+  state.counters["schedules"] =
+      static_cast<double>(all_iis_schedules({0, 1, 2}, rounds).size());
+}
+BENCHMARK(BM_ExhaustiveIisSchedules)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return trichroma::benchutil::bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,35 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// first prints the qualitative content of its paper figure (the part that
+// must match the paper), then runs google-benchmark timings of the engines
+// involved (our numbers, not the paper's — the paper reports none).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace trichroma::benchutil {
+
+inline void header(const std::string& figure, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Runs the reproduction printer, then google-benchmark.
+template <typename F>
+int bench_main(int argc, char** argv, F&& reproduce) {
+  reproduce();
+  std::printf("\n--- engine timings (google-benchmark) ---\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace trichroma::benchutil

@@ -1,0 +1,64 @@
+// Headline reproduction: the solvability landscape of every task the paper
+// discusses (and the calibration tasks), decided by the Theorem 5.1
+// pipeline — a summary "Table 1" the paper itself presents only in prose.
+
+#include "bench_util.h"
+#include "solver/solvability.h"
+#include "tasks/zoo.h"
+
+namespace {
+
+using namespace trichroma;
+
+void reproduce() {
+  benchutil::header("Verdict table", "the full decision procedure on the zoo");
+  std::printf("%-32s %-12s %7s %6s %s\n", "task", "verdict", "radius", "viaT'",
+              "reason");
+  const std::vector<Task> tasks = {
+      zoo::identity_task(),
+      zoo::renaming(5),
+      zoo::subdivision_task(0),
+      zoo::subdivision_task(1),
+      zoo::approximate_agreement(2),
+      zoo::fan_task(6),
+      zoo::fig3_running_example(),
+      zoo::loop_agreement_filled_triangle(),
+      zoo::consensus(3),
+      zoo::set_agreement_32(),
+      zoo::majority_consensus(),
+      zoo::hourglass(),
+      zoo::pinwheel(),
+      zoo::loop_agreement_hollow_triangle(),
+      zoo::loop_agreement_torus(),
+      zoo::loop_agreement_projective_plane(),
+      zoo::twisted_hourglass(),
+      zoo::test_and_set(3),
+      zoo::weak_symmetry_breaking(3),
+      zoo::consensus_2(),
+      zoo::approximate_agreement_2(2),
+  };
+  for (const Task& t : tasks) {
+    const SolvabilityResult r = decide_solvability(t);
+    std::printf("%-32s %-12s %7d %6s %.70s\n", t.name.c_str(),
+                to_string(r.verdict), r.radius,
+                r.via_characterization ? "yes" : "no", r.reason.c_str());
+  }
+}
+
+void BM_FullZooVerdicts(benchmark::State& state) {
+  for (auto _ : state) {
+    int solvable = 0;
+    for (const Task& t :
+         {zoo::identity_task(), zoo::consensus(3), zoo::hourglass()}) {
+      if (decide_solvability(t).verdict == Verdict::Solvable) ++solvable;
+    }
+    benchmark::DoNotOptimize(solvable);
+  }
+}
+BENCHMARK(BM_FullZooVerdicts);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return trichroma::benchutil::bench_main(argc, argv, reproduce);
+}

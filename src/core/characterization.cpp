@@ -1,0 +1,45 @@
+#include "core/characterization.h"
+
+#include "tasks/canonical.h"
+#include "topology/graph.h"
+
+namespace trichroma {
+
+CharacterizationResult characterize(const Task& task) {
+  CharacterizationResult result;
+  result.canonical = canonicalize(task);
+  result.output_components_before = component_count(result.canonical.output);
+  result.output_betti_before = betti_numbers(result.canonical.output);
+
+  LinkConnectedResult lc = make_link_connected(result.canonical);
+  result.link_connected = std::move(lc.task);
+  result.splits = std::move(lc.history);
+  result.output_components_after = component_count(result.link_connected.output);
+  result.output_betti_after = betti_numbers(result.link_connected.output);
+  return result;
+}
+
+std::string CharacterizationResult::report(const VertexPool& pool) const {
+  std::string out;
+  out += "canonical task T*: " + std::to_string(canonical.output.count(0)) +
+         " output vertices, " + std::to_string(canonical.output.count(2)) +
+         " output triangles\n";
+  out += "splits performed: " + std::to_string(splits.size()) + "\n";
+  for (const SplitEvent& s : splits) {
+    out += "  split " + pool.name(s.vertex) + " (w.r.t. " +
+           s.facet.to_string(pool) + ") into " +
+           std::to_string(s.component_count) + " copies\n";
+  }
+  out += "output complex components: " + std::to_string(output_components_before) +
+         " -> " + std::to_string(output_components_after) + "\n";
+  out += "output Betti numbers (GF(2)): b0 " +
+         std::to_string(output_betti_before.b0) + " -> " +
+         std::to_string(output_betti_after.b0) + ", b1 " +
+         std::to_string(output_betti_before.b1) + " -> " +
+         std::to_string(output_betti_after.b1) + "\n";
+  out += std::string("link-connected: ") +
+         (link_connected.is_link_connected() ? "yes" : "NO (unexpected)") + "\n";
+  return out;
+}
+
+}  // namespace trichroma

@@ -1,0 +1,40 @@
+#include "core/lap.h"
+
+#include <optional>
+
+#include "topology/graph.h"
+
+namespace trichroma {
+
+std::vector<LapRecord> find_laps(const Task& task, const Simplex& sigma) {
+  std::vector<LapRecord> out;
+  const SimplicialComplex image = task.delta.image_complex(sigma);
+  for (VertexId y : image.vertex_ids()) {
+    const SimplicialComplex lk = image.link(y);
+    if (lk.empty()) continue;
+    auto components = connected_components(lk);
+    if (components.size() >= 2) {
+      out.push_back(LapRecord{sigma, y, std::move(components)});
+    }
+  }
+  return out;
+}
+
+std::vector<LapRecord> find_all_laps(const Task& task) {
+  std::vector<LapRecord> out;
+  const int top = task.input.dimension();
+  for (const Simplex& sigma : task.input.simplices(top)) {
+    auto laps = find_laps(task, sigma);
+    out.insert(out.end(), std::make_move_iterator(laps.begin()),
+               std::make_move_iterator(laps.end()));
+  }
+  return out;
+}
+
+std::optional<LapRecord> first_lap(const Task& task, const Simplex& sigma) {
+  auto laps = find_laps(task, sigma);
+  if (laps.empty()) return std::nullopt;
+  return laps.front();
+}
+
+}  // namespace trichroma

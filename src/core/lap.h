@@ -1,0 +1,35 @@
+#pragma once
+// Local articulation points (Section 4 of the paper).
+//
+// For an input facet σ, a vertex y ∈ Δ(σ) is a *local articulation point
+// w.r.t. σ* (LAP) iff its link lk_{Δ(σ)}(y) has at least two connected
+// components. LAPs are the chromatic obstruction the paper isolates: they
+// are exactly what the splitting deformation removes.
+
+#include <optional>
+#include <vector>
+
+#include "tasks/task.h"
+#include "topology/complex.h"
+
+namespace trichroma {
+
+/// One detected local articulation point.
+struct LapRecord {
+  Simplex facet;    ///< the input facet σ
+  VertexId vertex;  ///< the articulation vertex y ∈ Δ(σ)
+  /// The connected components C_1, ..., C_r of lk_{Δ(σ)}(y), each as the
+  /// sorted list of its vertices, ordered by smallest vertex id.
+  std::vector<std::vector<VertexId>> link_components;
+};
+
+/// All LAPs of `task` w.r.t. input facet `sigma`, in vertex-id order.
+std::vector<LapRecord> find_laps(const Task& task, const Simplex& sigma);
+
+/// All LAPs of `task` across all input facets, facet-major order.
+std::vector<LapRecord> find_all_laps(const Task& task);
+
+/// The first LAP w.r.t. `sigma` if any (smallest vertex id).
+std::optional<LapRecord> first_lap(const Task& task, const Simplex& sigma);
+
+}  // namespace trichroma

@@ -1,0 +1,39 @@
+#include "core/link_connected.h"
+
+#include <stdexcept>
+
+namespace trichroma {
+
+LinkConnectedResult make_link_connected(const Task& canonical_task) {
+  if (!canonical_task.is_canonical()) {
+    throw std::logic_error("make_link_connected requires a canonical task");
+  }
+  LinkConnectedResult result;
+  result.task = canonical_task;
+
+  // Theorem 4.3's schedule: clean facets one at a time; Lemma 4.1
+  // guarantees no facet regresses once cleaned. The guard bounds runaway
+  // growth in case of a malformed task.
+  const std::size_t guard =
+      16 * (result.task.output.count(0) + 4) * (result.task.input.count(2) + result.task.input.count(1) + 4);
+  const int top = result.task.input.dimension();
+  for (const Simplex& sigma : result.task.input.simplices(top)) {
+    while (true) {
+      auto lap = first_lap(result.task, sigma);
+      if (!lap.has_value()) break;
+      if (result.history.size() > guard) {
+        throw std::logic_error("make_link_connected: split loop exceeded bound");
+      }
+      SplitResult split = split_lap(result.task, *lap);
+      result.history.push_back(SplitEvent{lap->facet, lap->vertex,
+                                          lap->link_components.size(),
+                                          split.copies});
+      result.task = std::move(split.task);
+    }
+  }
+  return result;
+}
+
+VertexId unsplit_vertex(VertexPool& pool, VertexId v) { return split_root(pool, v); }
+
+}  // namespace trichroma

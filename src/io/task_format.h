@@ -1,0 +1,67 @@
+#pragma once
+// Text format for tasks: parse and serialize (I, O, Δ) triples.
+//
+// The format is line-oriented; `#` starts a comment. A task is:
+//
+//     task <name>
+//     processes <n>
+//     input <simplex>            # one per input facet (closure is implied)
+//     delta <simplex> -> <simplex> [| <simplex> ...]
+//
+// where <simplex> is a space-separated list of `P<color>:<value>` vertices,
+// e.g. `P0:0 P1:1 P2:x`. Values are integers or bare identifiers. Δ must be
+// given for every input simplex (every dimension); the output complex is
+// derived as the closure of all images (the reachable part). Example:
+//
+//     task binary-consensus-2
+//     processes 2
+//     input P0:0 P1:0
+//     input P0:0 P1:1
+//     delta P0:0 -> P0:d0
+//     delta P0:0 P1:1 -> P0:d0 P1:d0 | P0:d1 P1:d1
+//     ...
+//
+// Parsing reports precise line numbers on errors. Round-tripping through
+// serialize/parse preserves the task up to vertex renaming (values are kept
+// verbatim).
+
+#include <stdexcept>
+#include <string>
+
+#include "tasks/task.h"
+
+namespace trichroma::io {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a task description. Throws ParseError on malformed input. The
+/// returned task owns a fresh VertexPool; input vertices get ("in", value)
+/// payloads and output vertices ("out", value) payloads, matching the zoo's
+/// conventions.
+Task parse_task(const std::string& text);
+
+/// Serializes a task into the text format (inverse of parse_task up to
+/// formatting). Requires every vertex value to be a tagged ("in"/"out")
+/// int or string, which holds for parsed and zoo tasks; other tasks are
+/// serialized with a positional fallback naming.
+std::string serialize_task(const Task& task);
+
+/// Reads a whole file; convenience for the CLI.
+std::string read_file(const std::string& path);
+
+/// GraphViz (DOT) rendering of a 2-dimensional complex: vertices labeled
+/// and colored by process id, edges drawn once; triangles listed in a
+/// comment header (DOT has no native 2-cells).
+std::string to_dot(const VertexPool& pool, const SimplicialComplex& complex,
+                   const std::string& graph_name);
+
+}  // namespace trichroma::io

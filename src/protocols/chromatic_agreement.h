@@ -1,0 +1,96 @@
+#pragma once
+// The paper's Figure-7 algorithm (Lemma 5.3): turning a color-agnostic
+// solution of a *link-connected* task into a properly chromatic one using
+// only standard synchronization (snapshots), with no topological machinery
+// at run time.
+//
+// Protocol sketch for process p_i with input x_i:
+//   (1)  announce the input in M_in;
+//   (2)  run the color-agnostic algorithm A_C, obtaining y_i (any color);
+//   (3,4) publish y_i in M_cless, snapshot it into a view V_i, publish V_i
+//        in M_snap and snapshot the views;
+//   (5)  the *core* V* = the minimal non-empty view (views are comparable);
+//   (6)  pivots — processes whose color appears in V* — decide that vertex;
+//   (7)  a non-pivot with a two-vertex core picks its own-color vertex
+//        completing the core to a facet of Δ(τ), publishes it in
+//        M_decisions, and decides it if it is alone; otherwise it adopts
+//        the smaller (singleton) core it discovered;
+//   (8-12) a non-pivot with singleton core {v*} picks an own-color neighbor
+//        of v* allowed by Δ(τ), publishes, and decides it if alone;
+//   (13-15) two non-pivots negotiate by "jumping" toward each other along
+//        the canonical shortest path Π in lk_{Δ(τ)}(v*) until their
+//        proposals form an edge of the link — then all three decisions lie
+//        on one facet.
+//
+// Implementation deviations from the paper's pseudocode (documented in
+// DESIGN.md): (a) the guard in line (10) is "v_i still unset" (the paper's
+// "v_i ≠ ⊥" contradicts its own comment); (b) before computing Π in (13)
+// the processes re-scan M_in, so both negotiators determine the link with
+// the same participant set τ (with the paper's stale τ from line (9), the
+// two processes can compute Π in different links).
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "protocols/colorless_protocol.h"
+#include "protocols/iis.h"
+#include "runtime/shared_memory.h"
+#include "runtime/system.h"
+#include "tasks/task.h"
+
+namespace trichroma::protocols {
+
+/// Shared memory of the Figure-7 algorithm.
+struct AgreementShared {
+  explicit AgreementShared(int n, int colorless_rounds)
+      : m_in(n), m_cless(n), m_snap(n), m_decisions(n), iis(n, colorless_rounds) {}
+
+  struct DecisionEntry {
+    VertexId anchor{};             ///< v_i: fixed first proposal (determines Π)
+    VertexId proposal{};           ///< current proposal v'
+    std::vector<VertexId> core;    ///< V* at the time of writing
+  };
+
+  runtime::SnapshotObject<VertexId> m_in;
+  runtime::SnapshotObject<VertexId> m_cless;
+  runtime::SnapshotObject<std::vector<VertexId>> m_snap;
+  runtime::SnapshotObject<DecisionEntry> m_decisions;
+  IisShared iis;  ///< substrate for A_C
+};
+
+struct AgreementOutcome {
+  std::optional<VertexId> decision;
+  bool pivot = false;          ///< decided in step (6)
+  std::size_t operations = 0;  ///< shared-memory operations performed
+  std::size_t jumps = 0;       ///< iterations of the negotiation loop (14)
+};
+
+/// The algorithm coroutine for process `pid` with input vertex `input`.
+/// `task` must be link-connected (T' of the characterization pipeline);
+/// `algorithm` is a color-agnostic solution of `task`. `pick_largest`
+/// flips the (arbitrary, per Lemma 5.3) own-color vertex selection in
+/// steps (7b)/(10) from smallest-id to largest-id — a testing hook that
+/// spreads the negotiation anchors apart to exercise the link-jumping
+/// loop (14) on long links.
+runtime::ProcessBody agreement_process(AgreementShared& shared, const Task& task,
+                                       const ColorlessAlgorithm& algorithm, int pid,
+                                       VertexId input, AgreementOutcome& out,
+                                       bool pick_largest = false);
+
+/// Runs the algorithm for the given participants under a seeded random
+/// adversary; returns outcomes indexed like `inputs`. When `spread_anchors`
+/// is set, odd pids use the largest-id pick policy.
+std::vector<AgreementOutcome> run_agreement(
+    const Task& task, const ColorlessAlgorithm& algorithm,
+    const std::vector<std::pair<int, VertexId>>& inputs, std::uint64_t seed,
+    bool spread_anchors = false);
+
+/// Validates an outcome set: every participant decided a vertex of its own
+/// color and the decisions form a simplex of Δ(input simplex).
+bool outcomes_valid(const Task& task,
+                    const std::vector<std::pair<int, VertexId>>& inputs,
+                    const std::vector<AgreementOutcome>& outcomes);
+
+}  // namespace trichroma::protocols

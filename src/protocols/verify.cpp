@@ -1,0 +1,60 @@
+#include "protocols/verify.h"
+
+#include <set>
+
+#include "protocols/iis.h"
+
+namespace trichroma::protocols {
+
+VerificationResult verify_decision_map(const Task& task, const VertexMap& decision,
+                                       int rounds, std::size_t max_executions) {
+  VerificationResult result;
+  VertexPool& pool = *task.pool;
+
+  // Deduplicate participant configurations across facets (faces shared by
+  // two facets would otherwise be verified twice).
+  std::set<Simplex> configurations;
+  task.input.for_each([&](const Simplex& tau) { configurations.insert(tau); });
+
+  for (const Simplex& tau : configurations) {
+    std::vector<int> pids;
+    std::vector<std::pair<int, VertexId>> inputs;
+    for (VertexId v : tau) {
+      pids.push_back(pool.color(v));
+      inputs.emplace_back(pool.color(v), v);
+    }
+    for (const auto& schedule : runtime::all_iis_schedules(pids, rounds)) {
+      if (result.executions >= max_executions) return result;
+      ++result.executions;
+      const auto outcomes = run_iis(pool, inputs, rounds, &decision, schedule);
+      std::vector<VertexId> decided;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].decision.has_value()) {
+          result.ok = false;
+          result.first_failure = "no decision for P" +
+                                 std::to_string(inputs[i].first) + " on input " +
+                                 tau.to_string(pool);
+          return result;
+        }
+        if (pool.color(*outcomes[i].decision) !=
+            static_cast<Color>(inputs[i].first)) {
+          result.ok = false;
+          result.first_failure = "wrong-color decision on input " +
+                                 tau.to_string(pool);
+          return result;
+        }
+        decided.push_back(*outcomes[i].decision);
+      }
+      const Simplex out{Simplex(std::move(decided))};
+      if (!task.output.contains(out) || !task.delta.allows(tau, out)) {
+        result.ok = false;
+        result.first_failure = "decisions " + out.to_string(pool) +
+                               " violate Δ(" + tau.to_string(pool) + ")";
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace trichroma::protocols

@@ -1,0 +1,37 @@
+#pragma once
+// Exhaustive protocol verification: model-check a decision map against
+// *every* iterated-immediate-snapshot execution.
+//
+// A decision map δ : Ch^r(I) → O is a protocol; by the correspondence
+// between IIS schedules and ordered set partitions, the executions with a
+// fixed participant set P and r rounds are exactly the |OP(P)|^r block
+// schedules (13^r for three participants). verify_decision_map runs every
+// one of them on the shared-memory simulator for every participant subset
+// of every input facet, and checks the decided simplex against Δ. This is
+// an *independent* end-to-end check of a solver witness: it exercises the
+// runtime, the IIS protocol, and the view-interning correspondence rather
+// than re-reading the map.
+
+#include <cstdint>
+#include <string>
+
+#include "tasks/task.h"
+#include "topology/chromatic.h"
+
+namespace trichroma::protocols {
+
+struct VerificationResult {
+  bool ok = true;
+  std::size_t executions = 0;       ///< schedules actually run
+  std::string first_failure;        ///< human-readable, when !ok
+};
+
+/// Exhaustively verifies `decision` (defined on the vertices of Ch^rounds
+/// of the task's input complex, chromatic) as a protocol for `task`.
+/// `max_executions` bounds the total work (13^r per facet-subset grows
+/// fast); exceeding it stops early with ok = true and the count reached.
+VerificationResult verify_decision_map(const Task& task, const VertexMap& decision,
+                                       int rounds,
+                                       std::size_t max_executions = 200000);
+
+}  // namespace trichroma::protocols

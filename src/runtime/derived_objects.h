@@ -1,0 +1,226 @@
+#pragma once
+// Derived shared objects: the reductions the paper invokes "without loss of
+// generality" (§2.1), implemented as wait-free algorithms instead of
+// primitives.
+//
+//  - AfekSnapshot: an atomic snapshot built from single-writer registers by
+//    the classic double-collect-with-helping algorithm (Afek, Attiya,
+//    Dolev, Gafni, Merritt, Shavit; JACM '93). A scan returns either after
+//    two identical collects ("clean double collect") or by borrowing the
+//    scan embedded in a register that changed twice during the scan — the
+//    second change's embedded scan lies entirely within the scan interval.
+//  - BgImmediateSnapshot: a one-shot immediate snapshot built from atomic
+//    snapshots by the Borowsky–Gafni levels algorithm (STOC '93): a process
+//    descends one level at a time, announcing (value, level), and returns
+//    the set of processes at or below its level once that set is at least
+//    as large as the level.
+//
+// Both are exposed as *operation state machines*: construct the operation,
+// then repeatedly `co_await Turn{Single}; op.step();` until `op.done()`.
+// Each step performs exactly one primitive atomic access, so the cooperative
+// scheduler interleaves the derived algorithms at their true atomicity —
+// which is exactly what the correctness tests exercise.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/shared_memory.h"
+
+namespace trichroma::runtime {
+
+template <typename T>
+class AfekSnapshot {
+ public:
+  struct Cell {
+    T value{};
+    std::uint64_t seq = 0;  ///< per-writer sequence number
+    /// The scan embedded in this write (the "help" for interfered scanners).
+    std::vector<std::optional<T>> embedded;
+  };
+
+  explicit AfekSnapshot(int n) : regs_(n) {}
+  int size() const { return regs_.size(); }
+
+  /// One scan operation. Each step() is a single register read.
+  class Scan {
+   public:
+    explicit Scan(AfekSnapshot& object)
+        : object_(object),
+          n_(static_cast<std::size_t>(object.size())),
+          previous_(n_),
+          current_(n_),
+          baseline_seq_(n_, 0),
+          moved_(n_, 0) {}
+
+    bool done() const { return done_; }
+
+    /// Performs the next register read; call only while !done().
+    void step() {
+      if (done_) throw std::logic_error("Scan already finished");
+      current_[next_] = object_.regs_.read(static_cast<int>(next_));
+      ++next_;
+      if (next_ < n_) return;
+      // A collect just completed; decide what to do with it.
+      next_ = 0;
+      if (!have_first_collect_) {
+        previous_ = current_;
+        have_first_collect_ = true;
+        for (std::size_t j = 0; j < n_; ++j) {
+          baseline_seq_[j] = seq_of(previous_[j]);
+        }
+        return;
+      }
+      bool identical = true;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (seq_of(previous_[j]) != seq_of(current_[j])) {
+          identical = false;
+          // A register that changed twice since the scan began carries an
+          // embedded scan taken entirely within our interval: borrow it.
+          if (seq_of(current_[j]) > baseline_seq_[j]) {
+            if (++moved_[j] >= 2 && current_[j].has_value()) {
+              result_ = current_[j]->embedded;
+              done_ = true;
+              return;
+            }
+          }
+        }
+      }
+      if (identical) {  // clean double collect
+        result_.clear();
+        for (std::size_t j = 0; j < n_; ++j) {
+          if (current_[j].has_value()) {
+            result_.push_back(current_[j]->value);
+          } else {
+            result_.push_back(std::nullopt);
+          }
+        }
+        done_ = true;
+        return;
+      }
+      previous_ = current_;
+    }
+
+    /// The snapshot, one optional per process slot.
+    const std::vector<std::optional<T>>& result() const {
+      if (!done_) throw std::logic_error("Scan not finished");
+      return result_;
+    }
+
+   private:
+    static std::uint64_t seq_of(const std::optional<Cell>& c) {
+      return c.has_value() ? c->seq : 0;
+    }
+
+    AfekSnapshot& object_;
+    std::size_t n_;
+    std::size_t next_ = 0;
+    bool have_first_collect_ = false;
+    std::vector<std::optional<Cell>> previous_, current_;
+    std::vector<std::uint64_t> baseline_seq_;
+    std::vector<int> moved_;
+    std::vector<std::optional<T>> result_;
+    bool done_ = false;
+
+    // result_ may hold optionals directly when borrowed.
+    static_assert(std::is_copy_constructible_v<T>);
+  };
+
+  /// One update operation: an embedded Scan followed by a single write.
+  class Update {
+   public:
+    Update(AfekSnapshot& object, int pid, T value)
+        : object_(object), pid_(pid), value_(std::move(value)), scan_(object) {}
+
+    bool done() const { return done_; }
+
+    void step() {
+      if (done_) throw std::logic_error("Update already finished");
+      if (!scan_.done()) {
+        scan_.step();
+        return;
+      }
+      // Single atomic write of (value, seq+1, embedded scan).
+      const auto& slot = object_.regs_.read(pid_);
+      Cell cell;
+      cell.value = value_;
+      cell.seq = (slot.has_value() ? slot->seq : 0) + 1;
+      cell.embedded = scan_.result();
+      object_.regs_.write(pid_, std::move(cell));
+      done_ = true;
+    }
+
+   private:
+    AfekSnapshot& object_;
+    int pid_;
+    T value_;
+    Scan scan_;
+    bool done_ = false;
+  };
+
+ private:
+  RegisterFile<Cell> regs_;
+};
+
+/// One-shot immediate snapshot from atomic snapshots (Borowsky–Gafni).
+template <typename T>
+class BgImmediateSnapshot {
+ public:
+  explicit BgImmediateSnapshot(int n) : snap_(n), n_(n) {}
+  int size() const { return n_; }
+
+  /// The write-snapshot operation: alternating update / scan steps, one
+  /// level per iteration, until the level condition holds.
+  class WriteSnapshot {
+   public:
+    WriteSnapshot(BgImmediateSnapshot& object, int pid, T value)
+        : object_(object), pid_(pid), value_(std::move(value)),
+          level_(object.n_ + 1) {}
+
+    bool done() const { return done_; }
+
+    void step() {
+      if (done_) throw std::logic_error("WriteSnapshot already finished");
+      if (!pending_scan_) {
+        // Descend a level and announce.
+        --level_;
+        object_.snap_.update(pid_, std::make_pair(value_, level_));
+        pending_scan_ = true;
+        return;
+      }
+      pending_scan_ = false;
+      const auto contents = object_.snap_.scan_present();
+      std::vector<std::pair<int, T>> at_or_below;
+      for (const auto& [who, entry] : contents) {
+        if (entry.second <= level_) at_or_below.emplace_back(who, entry.first);
+      }
+      if (static_cast<int>(at_or_below.size()) >= level_) {
+        view_ = std::move(at_or_below);
+        done_ = true;
+      }
+    }
+
+    /// The immediate-snapshot view, as (pid, value) pairs.
+    const std::vector<std::pair<int, T>>& view() const {
+      if (!done_) throw std::logic_error("WriteSnapshot not finished");
+      return view_;
+    }
+
+   private:
+    BgImmediateSnapshot& object_;
+    int pid_;
+    T value_;
+    int level_;
+    bool pending_scan_ = false;
+    bool done_ = false;
+    std::vector<std::pair<int, T>> view_;
+  };
+
+ private:
+  SnapshotObject<std::pair<T, int>> snap_;
+  int n_;
+};
+
+}  // namespace trichroma::runtime

@@ -1,0 +1,80 @@
+#include "runtime/explore.h"
+
+#include <stdexcept>
+
+namespace trichroma::runtime {
+
+namespace {
+
+struct Explorer {
+  const std::function<std::vector<ProcessBody>()>& factory;
+  const std::function<void()>& on_complete;
+  const ExploreOptions& options;
+  ExploreStats stats;
+  Schedule path;
+
+  /// The scheduler choices available in the state reached by `path`.
+  /// Replays from scratch, then inspects the executor.
+  std::vector<Block> choices_after_replay() {
+    Executor ex(factory());
+    for (const Block& block : path) ex.step(block);
+    if (ex.all_done()) return {};
+    std::vector<Block> choices;
+    std::vector<int> is_writers;
+    for (int pid : ex.enabled()) {
+      choices.push_back(Block{pid});
+      if (ex.pending(pid) == OpPhase::IsWrite) is_writers.push_back(pid);
+    }
+    // All subsets of size >= 2 of the IS-write-ready processes.
+    const std::size_t n = is_writers.size();
+    for (std::size_t mask = 1; n >= 2 && mask < (1u << n); ++mask) {
+      if (__builtin_popcount(static_cast<unsigned>(mask)) < 2) continue;
+      Block block;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) block.push_back(is_writers[i]);
+      }
+      choices.push_back(std::move(block));
+    }
+    return choices;
+  }
+
+  void dfs() {
+    if (!stats.exhaustive) return;
+    if (path.size() > options.max_steps) {
+      throw std::runtime_error("explore: schedule length bound exceeded "
+                               "(non-terminating protocol?)");
+    }
+    const auto choices = choices_after_replay();
+    if (choices.empty()) {
+      // Complete execution: replay once more so the captured outputs hold
+      // this execution's results when the callback runs.
+      if (stats.executions >= options.max_executions) {
+        stats.exhaustive = false;
+        return;
+      }
+      ++stats.executions;
+      Executor ex(factory());
+      for (const Block& block : path) ex.step(block);
+      on_complete();
+      return;
+    }
+    for (const Block& choice : choices) {
+      path.push_back(choice);
+      dfs();
+      path.pop_back();
+      if (!stats.exhaustive) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExploreStats explore_all_executions(
+    const std::function<std::vector<ProcessBody>()>& factory,
+    const std::function<void()>& on_complete, const ExploreOptions& options) {
+  Explorer explorer{factory, on_complete, options, {}, {}};
+  explorer.dfs();
+  return explorer.stats;
+}
+
+}  // namespace trichroma::runtime

@@ -1,0 +1,42 @@
+#pragma once
+// Stateless model checking: exhaustive enumeration of every asynchronous
+// interleaving of a protocol.
+//
+// The scheduler's choice points are (a) which enabled process takes its
+// next single atomic step and (b) which non-empty subset of the processes
+// poised at an immediate-snapshot write goes together as one concurrency
+// block. Enumerating all choices at every point visits every execution the
+// model admits — for one round of one-shot immediate snapshot by three
+// processes that is exactly the 13 ordered set partitions, which the tests
+// use to validate the explorer itself.
+//
+// Protocols are deterministic, so executions are replayed from scratch
+// along each schedule prefix (classic stateless exploration): the factory
+// must return a *fresh* protocol instance (including fresh shared objects
+// and cleared output slots) on every call.
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/system.h"
+
+namespace trichroma::runtime {
+
+struct ExploreStats {
+  std::size_t executions = 0;  ///< complete executions visited
+  bool exhaustive = true;      ///< false if a cap stopped the enumeration
+};
+
+struct ExploreOptions {
+  std::size_t max_executions = 1'000'000;
+  std::size_t max_steps = 10'000;  ///< per-execution schedule length bound
+};
+
+/// Enumerates every execution of the protocol produced by `factory`.
+/// `on_complete` runs after each finished execution — the factory's captured
+/// output slots hold that execution's results at that moment.
+ExploreStats explore_all_executions(
+    const std::function<std::vector<ProcessBody>()>& factory,
+    const std::function<void()>& on_complete, const ExploreOptions& options = {});
+
+}  // namespace trichroma::runtime

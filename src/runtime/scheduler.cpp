@@ -1,0 +1,17 @@
+#include "runtime/scheduler.h"
+
+#include <stdexcept>
+
+namespace trichroma::runtime {
+
+void ProcessBody::resume() {
+  if (done()) {
+    throw std::logic_error("resume() on a finished process");
+  }
+  handle_.resume();
+  if (handle_.done() && handle_.promise().exception) {
+    std::rethrow_exception(handle_.promise().exception);
+  }
+}
+
+}  // namespace trichroma::runtime

@@ -1,0 +1,96 @@
+#pragma once
+// Cooperative single-threaded simulation of asynchronous processes.
+//
+// A protocol process is a C++20 coroutine (ProcessBody). Every atomic
+// shared-memory operation is announced with `co_await Turn{phase}` and its
+// effect is executed in the code immediately following the co_await: since
+// only one coroutine segment runs at a time, everything between two
+// suspension points is atomic. The scheduler (see runtime/system.h) decides
+// which process takes the next step, which makes the full set of
+// asynchronous interleavings — the object the topological model quantifies
+// over — enumerable and replayable.
+//
+// Immediate snapshot needs block-level atomicity ("write, then snapshot
+// immediately, with concurrent processes' writes visible"), so an IS
+// operation announces two phases: IsWrite then IsRead. A scheduler block
+// {p1, ..., pk} resumes all members' write phases first, then all read
+// phases — exactly the ordered-partition semantics that generates the
+// standard chromatic subdivision.
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace trichroma::runtime {
+
+enum class OpPhase {
+  None,     ///< process not yet primed or already finished
+  Single,   ///< a one-shot atomic operation (read/write/update/scan)
+  IsWrite,  ///< first half of an immediate-snapshot operation
+  IsRead,   ///< second half of an immediate-snapshot operation
+};
+
+class ProcessBody {
+ public:
+  struct promise_type {
+    OpPhase pending = OpPhase::None;
+    std::exception_ptr exception;
+
+    ProcessBody get_return_object() {
+      return ProcessBody(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ProcessBody() = default;
+  explicit ProcessBody(Handle h) : handle_(h) {}
+  ProcessBody(ProcessBody&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  ProcessBody& operator=(ProcessBody&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ProcessBody(const ProcessBody&) = delete;
+  ProcessBody& operator=(const ProcessBody&) = delete;
+  ~ProcessBody() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Phase of the operation the process will perform on its next resume.
+  OpPhase pending() const {
+    return done() ? OpPhase::None : handle_.promise().pending;
+  }
+
+  /// Runs the process to its next suspension point (executing the pending
+  /// operation's effect). Rethrows any exception the body raised.
+  void resume();
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+/// Awaitable announcing the next atomic operation's phase.
+struct Turn {
+  OpPhase phase = OpPhase::Single;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<ProcessBody::promise_type> h) const noexcept {
+    h.promise().pending = phase;
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace trichroma::runtime

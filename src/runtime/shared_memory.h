@@ -1,0 +1,93 @@
+#pragma once
+// Shared-memory objects of the read/write model (Section 2.1 of the paper).
+//
+// These are plain single-threaded data structures; atomicity comes from the
+// cooperative scheduler (everything a coroutine does between suspension
+// points is one atomic step). Protocol code announces an operation with
+// `co_await Turn{...}` and then calls the object's effect method:
+//
+//   co_await Turn{OpPhase::Single};
+//   snapshot.update(pid, value);           // atomic update
+//
+//   co_await Turn{OpPhase::Single};
+//   auto view = snapshot.scan();           // atomic scan
+//
+//   co_await Turn{OpPhase::IsWrite};
+//   is.write(pid, value);                  // immediate snapshot: write...
+//   co_await Turn{OpPhase::IsRead};
+//   auto view = is.snap();                 // ...then snapshot, block-atomic
+
+#include <optional>
+#include <vector>
+
+namespace trichroma::runtime {
+
+/// n single-writer multi-reader atomic registers R[0..n-1].
+template <typename T>
+class RegisterFile {
+ public:
+  explicit RegisterFile(int n) : slots_(static_cast<std::size_t>(n)) {}
+
+  void write(int pid, T value) { slots_[static_cast<std::size_t>(pid)] = std::move(value); }
+  const std::optional<T>& read(int pid) const { return slots_[static_cast<std::size_t>(pid)]; }
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+};
+
+/// An atomic snapshot object: update(i, v) writes process i's segment;
+/// scan() returns all segments at once. (The paper's `update`/`scan`.)
+template <typename T>
+class SnapshotObject {
+ public:
+  explicit SnapshotObject(int n) : slots_(static_cast<std::size_t>(n)) {}
+
+  void update(int pid, T value) { slots_[static_cast<std::size_t>(pid)] = std::move(value); }
+
+  /// The current contents of every segment (empty optionals for processes
+  /// that have not updated yet).
+  std::vector<std::optional<T>> scan() const { return slots_; }
+
+  /// Scan filtered to the non-empty segments, as (pid, value) pairs.
+  std::vector<std::pair<int, T>> scan_present() const {
+    std::vector<std::pair<int, T>> out;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) out.emplace_back(static_cast<int>(i), *slots_[i]);
+    }
+    return out;
+  }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+};
+
+/// A one-shot immediate-snapshot object: write_i(v) immediately followed by
+/// an atomic snapshot, with processes scheduled in the same block seeing
+/// each other's writes. The scheduler guarantees the write phases of a
+/// block precede its read phases.
+template <typename T>
+class ImmediateSnapshotObject {
+ public:
+  explicit ImmediateSnapshotObject(int n) : slots_(static_cast<std::size_t>(n)) {}
+
+  void write(int pid, T value) { slots_[static_cast<std::size_t>(pid)] = std::move(value); }
+
+  /// The snapshot half: everything written so far, as (pid, value) pairs.
+  std::vector<std::pair<int, T>> snap() const {
+    std::vector<std::pair<int, T>> out;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) out.emplace_back(static_cast<int>(i), *slots_[i]);
+    }
+    return out;
+  }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+};
+
+}  // namespace trichroma::runtime

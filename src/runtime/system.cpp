@@ -1,0 +1,156 @@
+#include "runtime/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trichroma::runtime {
+
+Executor::Executor(std::vector<ProcessBody> processes)
+    : processes_(std::move(processes)) {
+  // Prime every process: run it to its first announced operation (only
+  // local initialization happens before the first co_await).
+  for (auto& p : processes_) {
+    if (!p.done()) p.resume();
+  }
+}
+
+bool Executor::all_done() const {
+  for (const auto& p : processes_) {
+    if (!p.done()) return false;
+  }
+  return true;
+}
+
+std::vector<int> Executor::enabled() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (!processes_[i].done()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void Executor::step(const Block& block) {
+  if (block.empty()) throw std::logic_error("empty scheduler block");
+  for (int pid : block) {
+    if (pid < 0 || pid >= process_count()) {
+      throw std::logic_error("scheduler block names an unknown process");
+    }
+    if (done(pid)) throw std::logic_error("scheduler block names a finished process");
+  }
+  ++steps_;
+  if (block.size() == 1 && pending(block[0]) == OpPhase::Single) {
+    processes_[static_cast<std::size_t>(block[0])].resume();
+    return;
+  }
+  // Immediate-snapshot block: all members must be at a write phase.
+  for (int pid : block) {
+    if (pending(pid) != OpPhase::IsWrite) {
+      throw std::logic_error(
+          "multi-process (or IS) block requires every member at an "
+          "immediate-snapshot write");
+    }
+  }
+  for (int pid : block) {  // all writes...
+    processes_[static_cast<std::size_t>(pid)].resume();
+    if (pending(pid) != OpPhase::IsRead) {
+      throw std::logic_error("immediate-snapshot write must be followed by its read");
+    }
+  }
+  for (int pid : block) {  // ...then all snapshots
+    processes_[static_cast<std::size_t>(pid)].resume();
+  }
+}
+
+void Executor::run(const Schedule& schedule, std::size_t step_cap) {
+  for (const Block& block : schedule) {
+    if (steps_ > step_cap) throw std::runtime_error("executor step cap exceeded");
+    step(block);
+  }
+  std::size_t next = 0;
+  while (!all_done()) {
+    if (steps_ > step_cap) throw std::runtime_error("executor step cap exceeded");
+    const auto live = enabled();
+    step(Block{live[next % live.size()]});
+    ++next;
+  }
+}
+
+void Executor::run_random(std::mt19937_64& rng, double block_prob,
+                          std::size_t step_cap) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  while (!all_done()) {
+    if (steps_ > step_cap) throw std::runtime_error("executor step cap exceeded");
+    const auto live = enabled();
+    std::vector<int> writers;
+    for (int pid : live) {
+      if (pending(pid) == OpPhase::IsWrite) writers.push_back(pid);
+    }
+    if (writers.size() >= 2 && coin(rng) < block_prob) {
+      // Random non-empty subset of the IS-ready processes.
+      Block block;
+      while (block.empty()) {
+        for (int pid : writers) {
+          if (coin(rng) < 0.5) block.push_back(pid);
+        }
+      }
+      step(block);
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      step(Block{live[pick(rng)]});
+    }
+  }
+}
+
+namespace {
+
+void partitions_rec(const std::vector<int>& items, Schedule& prefix,
+                    std::vector<Schedule>& out) {
+  if (items.empty()) {
+    out.push_back(prefix);
+    return;
+  }
+  const std::size_t n = items.size();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    Block block;
+    std::vector<int> rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        block.push_back(items[i]);
+      } else {
+        rest.push_back(items[i]);
+      }
+    }
+    prefix.push_back(std::move(block));
+    partitions_rec(rest, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Schedule> ordered_partition_schedules(const std::vector<int>& pids) {
+  std::vector<Schedule> out;
+  Schedule prefix;
+  partitions_rec(pids, prefix, out);
+  return out;
+}
+
+std::vector<Schedule> all_iis_schedules(const std::vector<int>& pids, int rounds) {
+  std::vector<Schedule> out{Schedule{}};
+  const auto per_round = ordered_partition_schedules(pids);
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<Schedule> next;
+    next.reserve(out.size() * per_round.size());
+    for (const Schedule& prefix : out) {
+      for (const Schedule& round : per_round) {
+        Schedule s = prefix;
+        s.insert(s.end(), round.begin(), round.end());
+        next.push_back(std::move(s));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace trichroma::runtime

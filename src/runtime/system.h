@@ -1,0 +1,71 @@
+#pragma once
+// The execution harness: drives a set of protocol coroutines under an
+// explicit schedule, supporting exhaustive and randomized adversaries.
+//
+// A schedule is a sequence of *blocks* (non-empty sets of process ids):
+//  - a singleton block lets that process perform its next atomic operation;
+//  - a multi-process block requires every member to be about to perform an
+//    immediate-snapshot operation, and executes all their writes before all
+//    their snapshots — the concurrency-block semantics whose one-round
+//    executions are exactly the ordered set partitions / the standard
+//    chromatic subdivision.
+//
+// When a schedule runs out before the protocol finishes, `run` falls back
+// to deterministic round-robin singleton steps, so every schedule prefix
+// extends to a complete execution (wait-free protocols always terminate).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace trichroma::runtime {
+
+using Block = std::vector<int>;
+using Schedule = std::vector<Block>;
+
+class Executor {
+ public:
+  explicit Executor(std::vector<ProcessBody> processes);
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+  bool done(int pid) const { return processes_[static_cast<std::size_t>(pid)].done(); }
+  bool all_done() const;
+  std::vector<int> enabled() const;
+  OpPhase pending(int pid) const {
+    return processes_[static_cast<std::size_t>(pid)].pending();
+  }
+  std::size_t steps_taken() const { return steps_; }
+
+  /// Executes one block. Throws std::logic_error on malformed blocks
+  /// (finished members, or a multi-process block whose members are not all
+  /// at an immediate-snapshot write).
+  void step(const Block& block);
+
+  /// Runs `schedule`, then round-robin singletons until every process is
+  /// done. Throws if `step_cap` steps do not finish the protocol.
+  void run(const Schedule& schedule, std::size_t step_cap = 100000);
+
+  /// Randomized adversary: at each step, with probability `block_prob`
+  /// groups a random subset of IS-write-ready processes into one block,
+  /// otherwise steps one random process.
+  void run_random(std::mt19937_64& rng, double block_prob = 0.3,
+                  std::size_t step_cap = 100000);
+
+ private:
+  std::vector<ProcessBody> processes_;
+  std::size_t steps_ = 0;
+};
+
+/// All ordered set partitions of `pids` (each block non-empty, order
+/// significant); 13 outcomes for three processes.
+std::vector<Schedule> ordered_partition_schedules(const std::vector<int>& pids);
+
+/// All block schedules for `rounds` rounds of aligned one-shot immediate
+/// snapshots by `pids`: the cartesian product of per-round ordered
+/// partitions, concatenated round-major (13^rounds schedules for three
+/// processes).
+std::vector<Schedule> all_iis_schedules(const std::vector<int>& pids, int rounds);
+
+}  // namespace trichroma::runtime

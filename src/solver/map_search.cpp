@@ -1,0 +1,298 @@
+#include "solver/map_search.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace trichroma {
+
+namespace {
+
+// The decision-map search is a finite CSP:
+//   variables   = vertices of the subdivided input complex,
+//   domains     = vertices of Δ(carrier(v)) (own color only, if chromatic),
+//   constraints = for every simplex ξ, the image must be a simplex of
+//                 Δ(carrier(ξ)).
+// Edge constraints are compiled to per-value compatibility bitmasks and
+// propagated by forward checking; triangle constraints filter the third
+// vertex once two are assigned. Variables are picked dynamically by
+// minimum remaining values. The search is systematic, so a negative
+// answer with `exhausted = true` is a proof of non-existence at this
+// radius.
+
+using Mask = std::uint64_t;  // domains in this codebase are small (< 64)
+constexpr std::size_t kMaxDomain = 64;
+
+struct Csp {
+  std::size_t n = 0;                          // number of variables
+  std::vector<VertexId> vertex;               // variable index → domain vertex
+  std::vector<std::vector<VertexId>> values;  // candidate lists
+  std::vector<Mask> full_domain;
+
+  struct BinaryConstraint {
+    std::size_t other;               // the neighboring variable
+    std::vector<Mask> compatible;    // per own-value mask over other's values
+  };
+  std::vector<std::vector<BinaryConstraint>> binary;  // per variable
+
+  // Simplex constraints of arity >= 3 (triangles for three processes,
+  // tetrahedra for four, ...): the image of {vars} must be a simplex of
+  // `allowed`. Filtered whenever exactly one member remains unassigned.
+  struct NaryConstraint {
+    std::vector<std::size_t> vars;
+    const SimplicialComplex* allowed;  // Δ(carrier(simplex))
+  };
+  std::vector<NaryConstraint> nary;
+  std::vector<std::vector<std::size_t>> nary_of;  // per variable
+
+  std::vector<std::unique_ptr<SimplicialComplex>> image_storage;
+  bool trivially_unsat = false;
+};
+
+Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
+              const Task& task, bool chromatic) {
+  Csp csp;
+  const std::vector<VertexId> vertices = domain.complex.vertex_ids();
+  csp.n = vertices.size();
+  csp.vertex = vertices;
+  std::unordered_map<VertexId, std::size_t, VertexIdHash> index;
+  for (std::size_t i = 0; i < csp.n; ++i) index.emplace(vertices[i], i);
+
+  std::unordered_map<Simplex, const SimplicialComplex*, SimplexHash> image_cache;
+  auto image_of = [&](const Simplex& carrier) -> const SimplicialComplex* {
+    auto it = image_cache.find(carrier);
+    if (it != image_cache.end()) return it->second;
+    csp.image_storage.push_back(
+        std::make_unique<SimplicialComplex>(task.delta.image_complex(carrier)));
+    const SimplicialComplex* ptr = csp.image_storage.back().get();
+    image_cache.emplace(carrier, ptr);
+    return ptr;
+  };
+
+  csp.values.resize(csp.n);
+  csp.full_domain.resize(csp.n);
+  for (std::size_t i = 0; i < csp.n; ++i) {
+    const Simplex& carrier = domain.carrier.at(vertices[i]);
+    for (VertexId w : image_of(carrier)->vertex_ids()) {
+      if (!chromatic || pool.color(w) == pool.color(vertices[i])) {
+        csp.values[i].push_back(w);
+      }
+    }
+    if (csp.values[i].empty() || csp.values[i].size() > kMaxDomain) {
+      // Empty: unsatisfiable. Oversized: would need wider masks; treat as
+      // unsatisfiable rather than silently mis-solving (not hit by any task
+      // in this repository — domains are |V(Δ(carrier))| ≤ a few dozen).
+      csp.trivially_unsat = true;
+      return csp;
+    }
+    csp.full_domain[i] =
+        csp.values[i].size() == kMaxDomain
+            ? ~Mask{0}
+            : ((Mask{1} << csp.values[i].size()) - 1);
+  }
+
+  csp.binary.resize(csp.n);
+  domain.complex.for_each([&](const Simplex& xi) {
+    if (xi.dim() != 1) return;
+    const SimplicialComplex* allowed = image_of(domain.carrier_of(xi));
+    const std::size_t a = index.at(xi[0]), b = index.at(xi[1]);
+    Csp::BinaryConstraint ab, ba;
+    ab.other = b;
+    ba.other = a;
+    ab.compatible.assign(csp.values[a].size(), 0);
+    ba.compatible.assign(csp.values[b].size(), 0);
+    for (std::size_t i = 0; i < csp.values[a].size(); ++i) {
+      for (std::size_t j = 0; j < csp.values[b].size(); ++j) {
+        // The image may degenerate to a vertex; both cases must be faces
+        // of Δ(carrier(edge)).
+        if (allowed->contains(Simplex{csp.values[a][i], csp.values[b][j]})) {
+          ab.compatible[i] |= (Mask{1} << j);
+          ba.compatible[j] |= (Mask{1} << i);
+        }
+      }
+    }
+    csp.binary[a].push_back(std::move(ab));
+    csp.binary[b].push_back(std::move(ba));
+  });
+
+  csp.nary_of.resize(csp.n);
+  domain.complex.for_each([&](const Simplex& xi) {
+    if (xi.dim() < 2) return;
+    Csp::NaryConstraint t;
+    for (VertexId v : xi) t.vars.push_back(index.at(v));
+    t.allowed = image_of(domain.carrier_of(xi));
+    const std::size_t id = csp.nary.size();
+    for (std::size_t var : t.vars) csp.nary_of[var].push_back(id);
+    csp.nary.push_back(std::move(t));
+  });
+  return csp;
+}
+
+struct Solver {
+  const Csp& csp;
+  MapSearchResult& result;
+  std::size_t node_cap;
+  bool dynamic_ordering = true;
+
+  std::vector<Mask> domain;        // current live values
+  std::vector<int> assigned;       // value index or -1
+  // Trail of (variable, previous mask) for undo.
+  std::vector<std::pair<std::size_t, Mask>> trail;
+  std::vector<std::size_t> trail_marks;
+
+  explicit Solver(const Csp& c, MapSearchResult& r, std::size_t cap)
+      : csp(c), result(r), node_cap(cap) {
+    domain = csp.full_domain;
+    assigned.assign(csp.n, -1);
+  }
+
+  void shrink(std::size_t var, Mask mask) {
+    if ((domain[var] & mask) == domain[var]) return;
+    trail.emplace_back(var, domain[var]);
+    domain[var] &= mask;
+  }
+
+  /// Applies all consequences of assigning `var`; false on a wipe-out.
+  bool propagate(std::size_t var) {
+    const auto value = static_cast<std::size_t>(assigned[var]);
+    for (const auto& bc : csp.binary[var]) {
+      if (assigned[bc.other] >= 0) continue;
+      shrink(bc.other, bc.compatible[value]);
+      if (domain[bc.other] == 0) return false;
+    }
+    for (std::size_t tid : csp.nary_of[var]) {
+      const auto& t = csp.nary[tid];
+      // Filter the single unassigned member, if exactly one remains.
+      std::size_t unassigned = csp.n;
+      int count = 0;
+      for (std::size_t m : t.vars) {
+        if (assigned[m] < 0) {
+          unassigned = m;
+          ++count;
+        }
+      }
+      if (count != 1) continue;
+      std::vector<VertexId> fixed;
+      fixed.reserve(t.vars.size() - 1);
+      for (std::size_t m : t.vars) {
+        if (m != unassigned) {
+          fixed.push_back(csp.values[m][static_cast<std::size_t>(assigned[m])]);
+        }
+      }
+      Mask ok = 0;
+      Mask live = domain[unassigned];
+      while (live) {
+        const int j = __builtin_ctzll(live);
+        live &= live - 1;
+        std::vector<VertexId> image = fixed;
+        image.push_back(csp.values[unassigned][static_cast<std::size_t>(j)]);
+        if (t.allowed->contains(Simplex(std::move(image)))) ok |= (Mask{1} << j);
+      }
+      shrink(unassigned, ok);
+      if (domain[unassigned] == 0) return false;
+    }
+    return true;
+  }
+
+  bool search() {
+    // Variable selection: minimum remaining values, or first-unassigned
+    // when dynamic ordering is ablated away.
+    std::size_t best = csp.n;
+    int best_count = 1 << 30;
+    for (std::size_t i = 0; i < csp.n; ++i) {
+      if (assigned[i] >= 0) continue;
+      if (!dynamic_ordering) {
+        best = i;
+        break;
+      }
+      const int count = __builtin_popcountll(domain[i]);
+      if (count < best_count) {
+        best_count = count;
+        best = i;
+        if (count == 1) break;
+      }
+    }
+    if (best == csp.n) return true;  // all assigned
+
+    Mask live = domain[best];
+    while (live) {
+      if (++result.nodes_explored > node_cap) {
+        result.exhausted = false;
+        return false;
+      }
+      const int j = __builtin_ctzll(live);
+      live &= live - 1;
+      trail_marks.push_back(trail.size());
+      assigned[best] = j;
+      const bool ok = propagate(best) && search();
+      if (ok) return true;
+      if (!result.exhausted) {
+        // Budget exceeded somewhere below: unwind without exploring more.
+        assigned[best] = -1;
+        return false;
+      }
+      // Undo.
+      assigned[best] = -1;
+      const std::size_t mark = trail_marks.back();
+      trail_marks.pop_back();
+      while (trail.size() > mark) {
+        domain[trail.back().first] = trail.back().second;
+        trail.pop_back();
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MapSearchResult find_decision_map(const VertexPool& pool,
+                                  const SubdividedComplex& domain, const Task& task,
+                                  const MapSearchOptions& options) {
+  MapSearchResult result;
+  const Csp csp = build_csp(pool, domain, task, options.chromatic);
+  if (csp.n == 0) {
+    result.found = true;
+    return result;
+  }
+  if (csp.trivially_unsat) return result;
+
+  Solver solver(csp, result, options.node_cap);
+  solver.dynamic_ordering = options.dynamic_ordering;
+  if (solver.search()) {
+    for (std::size_t i = 0; i < csp.n; ++i) {
+      result.map.set(csp.vertex[i],
+                     csp.values[i][static_cast<std::size_t>(solver.assigned[i])]);
+    }
+    result.found = true;
+  }
+  return result;
+}
+
+bool validate_decision_map(const VertexPool& pool, const SubdividedComplex& domain,
+                           const Task& task, const VertexMap& map, bool chromatic) {
+  bool ok = true;
+  domain.complex.for_each([&](const Simplex& xi) {
+    if (!ok) return;
+    for (VertexId v : xi) {
+      if (!map.defined(v)) {
+        ok = false;
+        return;
+      }
+      if (chromatic && pool.color(map.apply(v)) != pool.color(v)) {
+        ok = false;
+        return;
+      }
+    }
+    const Simplex image = map.apply(xi);
+    if (!task.output.contains(image) ||
+        !task.delta.allows(domain.carrier_of(xi), image)) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+}  // namespace trichroma

@@ -1,0 +1,58 @@
+#pragma once
+// Simplicial-map search: the executable direction of the Asynchronous
+// Computability Theorem.
+//
+// A three-process task is wait-free solvable iff for some radius r there is
+// a chromatic simplicial map δ : Ch^r(I) → O carried by Δ. This module
+// searches for such a map by backtracking over the subdivision vertices:
+// each vertex v may map to a vertex of Δ(carrier(v)) (with matching color in
+// chromatic mode), and every simplex ξ must satisfy δ(ξ) ∈ Δ(carrier(ξ)).
+//
+// A found map IS a wait-free protocol: run r rounds of iterated immediate
+// snapshot, then decide δ(final view). The protocols layer executes exactly
+// this on the shared-memory simulator.
+//
+// Color-agnostic mode drops the color constraint, which searches for the
+// "colorless" solutions consumed by the paper's Figure-7 algorithm
+// (Lemma 5.3): processes land on one output simplex but possibly on
+// vertices of the wrong color.
+
+#include <cstddef>
+
+#include "tasks/task.h"
+#include "topology/chromatic.h"
+#include "topology/subdivision.h"
+
+namespace trichroma {
+
+struct MapSearchOptions {
+  bool chromatic = true;
+  /// Backtracking-step budget; searches stopping on the cap report
+  /// exhausted = false.
+  std::size_t node_cap = 20'000'000;
+  /// Minimum-remaining-values variable selection (default). Disabling falls
+  /// back to static order — kept as an ablation knob (see bench_ablation);
+  /// both orders are complete, MRV is typically orders of magnitude faster.
+  bool dynamic_ordering = true;
+};
+
+struct MapSearchResult {
+  bool found = false;
+  bool exhausted = true;  ///< meaningful when !found: whole space explored
+  VertexMap map;          ///< the decision map, when found
+  std::size_t nodes_explored = 0;
+};
+
+/// Searches for a simplicial map from `domain.complex` to `task.output`
+/// carried by `task.delta` (carriers interpreted in `task.input`).
+MapSearchResult find_decision_map(const VertexPool& pool,
+                                  const SubdividedComplex& domain, const Task& task,
+                                  const MapSearchOptions& options);
+
+/// Independent validation that `map` is simplicial, carried by Δ, and (in
+/// chromatic mode) color-preserving. Used by tests and by the protocol
+/// layer before executing a witness.
+bool validate_decision_map(const VertexPool& pool, const SubdividedComplex& domain,
+                           const Task& task, const VertexMap& map, bool chromatic);
+
+}  // namespace trichroma

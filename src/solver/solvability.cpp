@@ -1,0 +1,170 @@
+#include "solver/solvability.h"
+
+namespace trichroma {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Solvable:
+      return "SOLVABLE";
+    case Verdict::Unsolvable:
+      return "UNSOLVABLE";
+    case Verdict::Unknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+SolvabilityResult decide_two_process(const Task& task) {
+  SolvabilityResult result;
+  const ConnectivityCsp csp = connectivity_csp(task);
+  if (csp.feasible) {
+    result.verdict = Verdict::Solvable;
+    result.reason =
+        "Proposition 5.4: a corner assignment with connected edge images "
+        "exists, giving a continuous map |I| -> |O| carried by Δ";
+  } else if (csp.exhausted) {
+    result.verdict = Verdict::Unsolvable;
+    result.reason = "Proposition 5.4: no continuous map |I| -> |O| carried by Δ (" +
+                    csp.detail + ")";
+  } else {
+    result.verdict = Verdict::Unknown;
+    result.reason = csp.detail;
+  }
+  return result;
+}
+
+MapSearchResult colorless_probe(const Task& task, int max_radius,
+                                std::size_t node_cap) {
+  MapSearchOptions options;
+  options.chromatic = false;
+  options.node_cap = node_cap;
+  MapSearchResult last;
+  for (int r = 0; r <= max_radius; ++r) {
+    const SubdividedComplex domain =
+        chromatic_subdivision(*task.pool, task.input, r);
+    last = find_decision_map(*task.pool, domain, task, options);
+    if (last.found) return last;
+  }
+  return last;
+}
+
+SolvabilityResult decide_solvability(const Task& task,
+                                     const SolvabilityOptions& options) {
+  if (task.num_processes == 2) return decide_two_process(task);
+
+  SolvabilityResult result;
+
+  // Four or more processes: the paper's splitting characterization is
+  // three-process-specific (its §7 future work), so only the generic
+  // engines run — the connectivity CSP for impossibility and the direct
+  // decision-map search for possibility.
+  if (task.num_processes > 3) {
+    const ConnectivityCsp csp = connectivity_csp(task);
+    if (!csp.feasible && csp.exhausted) {
+      result.verdict = Verdict::Unsolvable;
+      result.reason = "connectivity obstruction (n-process generic engine): " +
+                      csp.detail;
+      return result;
+    }
+  }
+
+  // --- Impossibility side: obstructions on the split task T'. ---
+  if (options.use_characterization && task.num_processes == 3) {
+    result.characterization =
+        std::make_shared<CharacterizationResult>(characterize(task));
+    const Task& tp = result.characterization->link_connected;
+
+    result.cor55 = corollary_5_5(result.characterization->canonical);
+    result.cor56 = corollary_5_6(result.characterization->canonical);
+
+    const ConnectivityCsp csp = connectivity_csp(tp);
+    if (!csp.feasible && csp.exhausted) {
+      result.verdict = Verdict::Unsolvable;
+      result.via_characterization = true;
+      result.reason =
+          "post-split connectivity obstruction on T' (Theorem 5.1 + "
+          "Corollary 5.5 shape): " +
+          csp.detail;
+      return result;
+    }
+    const HomologyObstruction hom = homology_boundary_check(tp);
+    if (!hom.feasible && hom.exhausted) {
+      result.verdict = Verdict::Unsolvable;
+      result.via_characterization = true;
+      result.reason =
+          "post-split homological obstruction on T' (no continuous map "
+          "|I| -> |O'| carried by Δ'): " +
+          hom.detail;
+      return result;
+    }
+    if (result.cor55.fires) {
+      result.verdict = Verdict::Unsolvable;
+      result.via_characterization = true;
+      result.reason = "Corollary 5.5 on T*: " + result.cor55.detail;
+      return result;
+    }
+    if (result.cor56.fires) {
+      result.verdict = Verdict::Unsolvable;
+      result.via_characterization = true;
+      result.reason = "Corollary 5.6 on T*: " + result.cor56.detail;
+      return result;
+    }
+  }
+
+  // --- Possibility side: direct chromatic decision-map search. ---
+  MapSearchOptions chromatic_options;
+  chromatic_options.chromatic = true;
+  chromatic_options.node_cap = options.node_cap;
+  bool all_exhausted = true;
+  for (int r = 0; r <= options.max_radius; ++r) {
+    SubdividedComplex domain = chromatic_subdivision(*task.pool, task.input, r);
+    MapSearchResult found =
+        find_decision_map(*task.pool, domain, task, chromatic_options);
+    if (found.found) {
+      result.verdict = Verdict::Solvable;
+      result.radius = r;
+      result.has_chromatic_witness = true;
+      result.witness_domain = std::move(domain);
+      result.witness = std::move(found.map);
+      result.reason = "chromatic decision map found on Ch^" + std::to_string(r) +
+                      "(I) (" + std::to_string(found.nodes_explored) +
+                      " search nodes)";
+      return result;
+    }
+    all_exhausted = all_exhausted && found.exhausted;
+  }
+
+  // --- Possibility via the characterization: color-agnostic map into T'. ---
+  if (options.use_characterization && result.characterization != nullptr) {
+    const Task& tp = result.characterization->link_connected;
+    MapSearchOptions agnostic;
+    agnostic.chromatic = false;
+    agnostic.node_cap = options.node_cap;
+    for (int r = 0; r <= options.max_radius; ++r) {
+      SubdividedComplex domain = chromatic_subdivision(*tp.pool, tp.input, r);
+      MapSearchResult found = find_decision_map(*tp.pool, domain, tp, agnostic);
+      if (found.found) {
+        result.verdict = Verdict::Solvable;
+        result.radius = r;
+        result.via_characterization = true;
+        result.reason =
+            "color-agnostic decision map found on the link-connected task T' "
+            "at Ch^" +
+            std::to_string(r) +
+            "(I); solvable by Theorem 5.1 via the Figure-7 algorithm";
+        return result;
+      }
+      all_exhausted = all_exhausted && found.exhausted;
+    }
+  }
+
+  result.verdict = Verdict::Unknown;
+  result.reason = all_exhausted
+                      ? "no decision map up to radius " +
+                            std::to_string(options.max_radius) +
+                            " and no obstruction found"
+                      : "search budget exhausted before a conclusion";
+  return result;
+}
+
+}  // namespace trichroma

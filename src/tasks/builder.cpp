@@ -1,0 +1,55 @@
+#include "tasks/builder.h"
+
+namespace trichroma {
+
+Simplex restrict_to_colors(const VertexPool& pool, const Simplex& s,
+                           const std::set<Color>& colors) {
+  std::vector<VertexId> out;
+  for (VertexId v : s) {
+    if (colors.count(pool.color(v)) > 0) out.push_back(v);
+  }
+  return Simplex(std::move(out));
+}
+
+CarrierMap downward_closure(
+    const VertexPool& pool, const SimplicialComplex& input,
+    const std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash>& facet_images) {
+  // Step 1: union of restrictions from every containing facet.
+  CarrierMap delta;
+  input.for_each([&](const Simplex& tau) {
+    const std::set<Color> ids = colors_of(pool, tau);
+    for (const auto& [facet, images] : facet_images) {
+      if (!facet.contains_all(tau)) continue;
+      for (const Simplex& rho : images) {
+        delta.add(tau, restrict_to_colors(pool, rho, ids));
+      }
+    }
+  });
+  // Step 2: a face shared by several facets may have inherited an image
+  // that one of its cofaces cannot extend, breaking monotonicity. Prune to
+  // the maximal monotone submap: repeatedly drop any image not contained in
+  // every coface's image complex.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    input.for_each([&](const Simplex& tau) {
+      std::vector<Simplex> kept;
+      for (const Simplex& rho : delta.facet_images(tau)) {
+        bool consistent = true;
+        input.for_each([&](const Simplex& coface) {
+          if (!consistent || !coface.contains_all(tau) || coface == tau) return;
+          if (!delta.allows(coface, rho)) consistent = false;
+        });
+        if (consistent) {
+          kept.push_back(rho);
+        } else {
+          changed = true;
+        }
+      }
+      delta.set(tau, std::move(kept));
+    });
+  }
+  return delta;
+}
+
+}  // namespace trichroma

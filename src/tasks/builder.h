@@ -1,0 +1,28 @@
+#pragma once
+// Helpers for constructing carrier maps.
+
+#include <unordered_map>
+#include <vector>
+
+#include "tasks/carrier_map.h"
+#include "topology/chromatic.h"
+
+namespace trichroma {
+
+/// Restriction of `s` to its vertices whose colors are in `colors`.
+Simplex restrict_to_colors(const VertexPool& pool, const Simplex& s,
+                           const std::set<Color>& colors);
+
+/// Extends Δ, given only on the *facets* of `input`, to every face: first by
+/// restriction — Δ(τ) = { ρ|ids(τ) : ρ ∈ Δ(σ), σ facet ⊇ τ } — and then by
+/// pruning to the maximal monotone submap (an image inherited from one facet
+/// may not extend inside another facet containing the same face; such images
+/// are dropped until a fixpoint). The result is a valid carrier map whenever
+/// every image stays non-empty (Task::validate reports it otherwise). Tasks
+/// whose face behaviour is more restrictive than restriction (e.g. the
+/// hourglass) must build Δ explicitly instead.
+CarrierMap downward_closure(
+    const VertexPool& pool, const SimplicialComplex& input,
+    const std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash>& facet_images);
+
+}  // namespace trichroma

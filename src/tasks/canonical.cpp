@@ -1,0 +1,78 @@
+#include "tasks/canonical.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace trichroma {
+
+namespace {
+
+/// Pairs the vertices of X and Y by color; X and Y must be chromatic
+/// simplices over the same color set.
+Simplex product_simplex(VertexPool& pool, const Simplex& x, const Simplex& y) {
+  ValuePool& values = pool.values();
+  const ValueId tag = values.of_string("io");
+  std::unordered_map<Color, VertexId> by_color;
+  for (VertexId v : x) by_color.emplace(pool.color(v), v);
+  std::vector<VertexId> out;
+  out.reserve(y.size());
+  for (VertexId w : y) {
+    auto it = by_color.find(pool.color(w));
+    if (it == by_color.end()) {
+      throw std::logic_error("product of simplices with mismatched colors");
+    }
+    const ValueId paired =
+        values.of_tuple({tag, pool.value(it->second), pool.value(w)});
+    out.push_back(pool.vertex(pool.color(w), paired));
+  }
+  return Simplex(std::move(out));
+}
+
+}  // namespace
+
+Task canonicalize(const Task& task) {
+  Task out;
+  out.pool = task.pool;
+  out.name = task.name + "*";
+  out.num_processes = task.num_processes;
+  out.input = task.input;
+
+  VertexPool& pool = *out.pool;
+  task.input.for_each([&](const Simplex& x) {
+    std::vector<Simplex> images;
+    for (const Simplex& y : task.delta.facet_images(x)) {
+      Simplex xy = product_simplex(pool, x, y);
+      out.output.add(xy);
+      images.push_back(std::move(xy));
+    }
+    out.delta.set(x, std::move(images));
+  });
+  return out;
+}
+
+bool is_canonical_vertex(const VertexPool& pool, VertexId v) {
+  const ValuePool& values = pool.values();
+  const ValueId val = pool.value(v);
+  if (values.kind(val) != ValuePool::Kind::Tuple) return false;
+  const auto elems = values.elements(val);
+  return elems.size() == 3 && values.kind(elems[0]) == ValuePool::Kind::Str &&
+         values.as_string(elems[0]) == "io";
+}
+
+VertexId canonical_input_part(VertexPool& pool, VertexId v) {
+  if (!is_canonical_vertex(pool, v)) {
+    throw std::logic_error("vertex is not in canonical (io, x, y) form");
+  }
+  const auto elems = pool.values().elements(pool.value(v));
+  return pool.vertex(pool.color(v), elems[1]);
+}
+
+VertexId canonical_output_part(VertexPool& pool, VertexId v) {
+  if (!is_canonical_vertex(pool, v)) {
+    throw std::logic_error("vertex is not in canonical (io, x, y) form");
+  }
+  const auto elems = pool.values().elements(pool.value(v));
+  return pool.vertex(pool.color(v), elems[2]);
+}
+
+}  // namespace trichroma

@@ -1,0 +1,32 @@
+#pragma once
+// Canonical form of a task (Section 3 of the paper, Theorem 3.1).
+//
+// T* = (I, O*, Δ*) requires each process to output its input alongside its
+// output: O* is the subcomplex of the product I × O induced by the pairs
+// X × Y with Y ∈ Δ(X), and Δ*(X) = { X × Y : Y ∈ Δ(X) }. The key property
+// (Claim 1's precondition) is that Δ* is "one-to-one": every output vertex
+// of O* has a unique pre-image input vertex, which is what the splitting
+// deformation of Section 4 relies on.
+//
+// A canonical vertex's value is the tagged pair ("io", input-value,
+// output-value), so both components are recoverable.
+
+#include "tasks/task.h"
+
+namespace trichroma {
+
+/// Builds the canonical form T* of `task`. The result shares the task's
+/// vertex pool. If the task is already canonical it is still re-encoded
+/// (idempotent up to the value tagging).
+Task canonicalize(const Task& task);
+
+/// True iff `v`'s value carries the canonical ("io", x, y) tagging.
+bool is_canonical_vertex(const VertexPool& pool, VertexId v);
+
+/// The input vertex (same color, input component) of a canonical vertex.
+VertexId canonical_input_part(VertexPool& pool, VertexId v);
+
+/// The output vertex (same color, output component) of a canonical vertex.
+VertexId canonical_output_part(VertexPool& pool, VertexId v);
+
+}  // namespace trichroma

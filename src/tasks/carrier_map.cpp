@@ -1,0 +1,117 @@
+#include "tasks/carrier_map.h"
+
+#include <algorithm>
+
+#include "topology/chromatic.h"
+
+namespace trichroma {
+
+namespace {
+const std::vector<Simplex> kEmpty;
+}
+
+void CarrierMap::add(const Simplex& in, const Simplex& out) {
+  auto& list = images_[in];
+  if (std::find(list.begin(), list.end(), out) == list.end()) {
+    list.push_back(out);
+    std::sort(list.begin(), list.end());
+  }
+}
+
+void CarrierMap::set(const Simplex& in, std::vector<Simplex> out_facets) {
+  std::sort(out_facets.begin(), out_facets.end());
+  out_facets.erase(std::unique(out_facets.begin(), out_facets.end()),
+                   out_facets.end());
+  images_[in] = std::move(out_facets);
+}
+
+const std::vector<Simplex>& CarrierMap::facet_images(const Simplex& in) const {
+  auto it = images_.find(in);
+  return it == images_.end() ? kEmpty : it->second;
+}
+
+SimplicialComplex CarrierMap::image_complex(const Simplex& in) const {
+  SimplicialComplex out;
+  for (const Simplex& f : facet_images(in)) out.add(f);
+  return out;
+}
+
+SimplicialComplex CarrierMap::reachable_output(const SimplicialComplex& input) const {
+  SimplicialComplex out;
+  input.for_each([&](const Simplex& s) {
+    for (const Simplex& f : facet_images(s)) out.add(f);
+  });
+  return out;
+}
+
+bool CarrierMap::allows(const Simplex& in, const Simplex& out) const {
+  for (const Simplex& f : facet_images(in)) {
+    if (f.contains_all(out)) return true;
+  }
+  return false;
+}
+
+std::vector<Simplex> CarrierMap::domain() const {
+  std::vector<Simplex> out;
+  out.reserve(images_.size());
+  for (const auto& [in, list] : images_) {
+    (void)list;
+    out.push_back(in);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Simplex& a, const Simplex& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return out;
+}
+
+std::vector<std::string> CarrierMap::validate(const VertexPool& pool,
+                                              const SimplicialComplex& input,
+                                              bool relax_vertex_monotonicity) const {
+  std::vector<std::string> errors;
+  input.for_each([&](const Simplex& sigma) {
+    const auto& facets = facet_images(sigma);
+    if (facets.empty()) {
+      errors.push_back("Δ undefined or empty on input " + sigma.to_string(pool));
+      return;
+    }
+    for (const Simplex& tau : facets) {
+      if (tau.dim() != sigma.dim()) {
+        errors.push_back("Δ(" + sigma.to_string(pool) + ") contains " +
+                         tau.to_string(pool) + " of wrong dimension");
+      }
+      if (colors_of(pool, tau) != colors_of(pool, sigma)) {
+        errors.push_back("Δ(" + sigma.to_string(pool) + ") contains " +
+                         tau.to_string(pool) + " with mismatched colors");
+      }
+    }
+  });
+  // Monotonicity: Δ(σ') ⊆ Δ(σ) as complexes, for every face σ' ⊂ σ.
+  input.for_each([&](const Simplex& sigma) {
+    if (sigma.size() < 2) return;
+    const SimplicialComplex image = image_complex(sigma);
+    for (const Simplex& face : sigma.faces()) {
+      if (face == sigma) continue;
+      if (relax_vertex_monotonicity && face.size() == 1) continue;
+      for (const Simplex& tau : facet_images(face)) {
+        if (!image.contains(tau)) {
+          errors.push_back("Δ not monotone: Δ(" + face.to_string(pool) +
+                           ") ∋ " + tau.to_string(pool) + " ∉ Δ(" +
+                           sigma.to_string(pool) + ")");
+        }
+      }
+    }
+  });
+  return errors;
+}
+
+bool CarrierMap::operator==(const CarrierMap& other) const {
+  if (domain() != other.domain()) return false;
+  for (const auto& [in, list] : images_) {
+    if (other.facet_images(in) != list) return false;
+  }
+  return true;
+}
+
+}  // namespace trichroma

@@ -1,0 +1,65 @@
+#pragma once
+// CarrierMap: the input/output specification Δ of a task.
+//
+// Δ maps every simplex σ of the input complex to a pure subcomplex of the
+// output complex of the same dimension and with the same colors (ids). We
+// store, per input simplex, the list of *facets* of Δ(σ) (output simplices
+// of the same dimension as σ); the full image complex is their closure.
+//
+// Validity (checked by `validate`):
+//  - chromatic: ids(τ) == ids(σ) for every τ ∈ Δ(σ)'s facet list;
+//  - monotone:  σ' ⊆ σ  ⇒  Δ(σ') ⊆ Δ(σ) as subcomplexes;
+//  - every simplex of the input complex has a non-empty image.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/complex.h"
+#include "topology/simplex.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+
+class CarrierMap {
+ public:
+  /// Adds `out` (an output simplex with dim == in.dim()) to Δ(in)'s facets.
+  void add(const Simplex& in, const Simplex& out);
+  /// Replaces Δ(in)'s facet list.
+  void set(const Simplex& in, std::vector<Simplex> out_facets);
+
+  bool defined(const Simplex& in) const { return images_.count(in) > 0; }
+
+  /// The facet list of Δ(in) (empty if undefined), in deterministic order.
+  const std::vector<Simplex>& facet_images(const Simplex& in) const;
+
+  /// Δ(in) as a closure-complete complex.
+  SimplicialComplex image_complex(const Simplex& in) const;
+
+  /// Union of Δ(σ) over all simplices σ of `input` — the reachable part of
+  /// the output complex.
+  SimplicialComplex reachable_output(const SimplicialComplex& input) const;
+
+  /// True iff `out` is a simplex of the complex Δ(in).
+  bool allows(const Simplex& in, const Simplex& out) const;
+
+  /// All input simplices on which Δ is defined, in deterministic order.
+  std::vector<Simplex> domain() const;
+
+  /// Validates carrier-map structure over the given input complex; returns
+  /// a list of human-readable violations (empty = valid). With
+  /// `relax_vertex_monotonicity`, monotonicity violations whose face is a
+  /// single vertex are tolerated: the splitting deformation of Section 4
+  /// gives solo deciders one copy per link component, which containing
+  /// simplices need not all carry (the paper's construction shares this).
+  std::vector<std::string> validate(const VertexPool& pool,
+                                    const SimplicialComplex& input,
+                                    bool relax_vertex_monotonicity = false) const;
+
+  bool operator==(const CarrierMap& other) const;
+
+ private:
+  std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash> images_;
+};
+
+}  // namespace trichroma

@@ -1,0 +1,105 @@
+#include "tasks/task.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topology/chromatic.h"
+#include "topology/graph.h"
+
+namespace trichroma {
+
+std::vector<std::string> Task::validate(bool relax_vertex_monotonicity) const {
+  std::vector<std::string> errors;
+  if (pool == nullptr) {
+    errors.push_back("task has no vertex pool");
+    return errors;
+  }
+  const int expect_dim = num_processes - 1;
+  if (input.dimension() != expect_dim) {
+    errors.push_back("input complex has dimension " +
+                     std::to_string(input.dimension()) + ", expected " +
+                     std::to_string(expect_dim));
+  }
+  if (output.dimension() != expect_dim) {
+    errors.push_back("output complex has dimension " +
+                     std::to_string(output.dimension()) + ", expected " +
+                     std::to_string(expect_dim));
+  }
+  if (!is_chromatic_complex(*pool, input)) {
+    errors.push_back("input complex is not chromatic");
+  }
+  if (!is_chromatic_complex(*pool, output)) {
+    errors.push_back("output complex is not chromatic");
+  }
+  for (std::string& e : delta.validate(*pool, input, relax_vertex_monotonicity)) {
+    errors.push_back(std::move(e));
+  }
+  // Image simplices must exist in the output complex, and the output complex
+  // must be fully reachable.
+  input.for_each([&](const Simplex& sigma) {
+    for (const Simplex& tau : delta.facet_images(sigma)) {
+      if (!output.contains(tau)) {
+        errors.push_back("Δ(" + sigma.to_string(*pool) + ") ∋ " +
+                         tau.to_string(*pool) + " missing from output complex");
+      }
+    }
+  });
+  const SimplicialComplex reachable = delta.reachable_output(input);
+  if (!(reachable == output)) {
+    errors.push_back("output complex is not exactly the reachable part ∪σ Δ(σ)");
+  }
+  return errors;
+}
+
+bool Task::is_canonical() const {
+  // Canonicity = Δ is "one-to-one" (Section 3): an output simplex may be a
+  // facet image of at most one input simplex (of its own dimension). The
+  // images of distinct inputs may still share lower-dimensional faces, which
+  // is exactly the allowance the paper makes for σ1 ∩ σ2 ≠ ∅.
+  std::unordered_map<Simplex, Simplex, SimplexHash> owner;
+  bool ok = true;
+  input.for_each([&](const Simplex& tau) {
+    for (const Simplex& rho : delta.facet_images(tau)) {
+      auto [it, inserted] = owner.emplace(rho, tau);
+      if (!inserted && !(it->second == tau)) ok = false;
+    }
+  });
+  return ok;
+}
+
+bool Task::is_link_connected() const {
+  const int top = input.dimension();
+  for (const Simplex& sigma : input.simplices(top)) {
+    const SimplicialComplex image = delta.image_complex(sigma);
+    for (VertexId y : image.vertex_ids()) {
+      const SimplicialComplex lk = image.link(y);
+      if (!lk.empty() && !is_connected(lk)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Task::summary() const {
+  std::string out = "task '" + name + "': " + std::to_string(num_processes) +
+                    " processes\n";
+  out += "  input:  " + std::to_string(input.count(0)) + " vertices, " +
+         std::to_string(input.count(1)) + " edges, " +
+         std::to_string(input.count(2)) + " triangles\n";
+  out += "  output: " + std::to_string(output.count(0)) + " vertices, " +
+         std::to_string(output.count(1)) + " edges, " +
+         std::to_string(output.count(2)) + " triangles\n";
+  out += std::string("  canonical: ") + (is_canonical() ? "yes" : "no") +
+         ", link-connected: " + (is_link_connected() ? "yes" : "no") + "\n";
+  return out;
+}
+
+std::vector<VertexId> preimage_vertices(const Task& task, VertexId y) {
+  std::vector<VertexId> out;
+  for (VertexId x : task.input.vertex_ids()) {
+    const SimplicialComplex image = task.delta.image_complex(Simplex::single(x));
+    if (image.contains_vertex(y)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace trichroma

@@ -1,0 +1,54 @@
+#pragma once
+// Task: the triple (I, O, Δ) of the topological model of distributed
+// computing, for n asynchronous wait-free processes (n = 3 throughout the
+// paper's main results).
+//
+// All complexes of one task (and of everything derived from it: canonical
+// form, split forms, subdivisions, protocol complexes) share one VertexPool,
+// held by shared_ptr so pipeline stages can extend the universe in place.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tasks/carrier_map.h"
+#include "topology/complex.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+
+struct Task {
+  std::shared_ptr<VertexPool> pool;
+  std::string name;
+  int num_processes = 3;
+  SimplicialComplex input;
+  SimplicialComplex output;
+  CarrierMap delta;
+
+  /// Structural validation: complexes chromatic and of dimension
+  /// num_processes - 1, Δ a valid carrier map over `input`, and the output
+  /// complex reachable (O = ∪σ Δ(σ)). Returns violations (empty = valid).
+  /// `relax_vertex_monotonicity` tolerates solo-level monotonicity slack,
+  /// which the splitting deformation introduces (see CarrierMap::validate).
+  std::vector<std::string> validate(bool relax_vertex_monotonicity = false) const;
+
+  /// Convenience: true iff validate() reports nothing.
+  bool is_valid() const { return validate().empty(); }
+
+  /// True iff the task is in canonical form: every output vertex is in the
+  /// image of exactly one input vertex (Section 3 of the paper).
+  bool is_canonical() const;
+
+  /// True iff for every input facet σ and vertex y ∈ Δ(σ), the link
+  /// lk_{Δ(σ)}(y) is connected — i.e. the task has no local articulation
+  /// points (Section 4).
+  bool is_link_connected() const;
+
+  /// Human-readable structural summary.
+  std::string summary() const;
+};
+
+/// The input vertices whose Δ-image contains output vertex `y`.
+std::vector<VertexId> preimage_vertices(const Task& task, VertexId y);
+
+}  // namespace trichroma

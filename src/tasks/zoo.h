@@ -1,0 +1,222 @@
+#pragma once
+// The task zoo: every concrete task the paper discusses, plus standard
+// tasks used as baselines and solver calibration points.
+//
+// Unless noted otherwise, tasks are for three processes (colors 0, 1, 2).
+// Each constructor returns a fully validated Task owning a fresh VertexPool.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace trichroma {
+namespace zoo {
+
+// ---------------------------------------------------------------------------
+// Value-predicate task factory
+// ---------------------------------------------------------------------------
+
+/// Specification of a task whose Δ is given by a predicate over the
+/// participating processes' input and output *values*. For every chromatic
+/// input simplex σ (participants with input values) and every assignment of
+/// output values to the participants, the output simplex is in Δ(σ) iff
+/// `allowed(ids, inputs, outputs)` holds. The predicate must be monotone-
+/// compatible (Task::validate() will verify the result is a carrier map).
+struct ValueTaskSpec {
+  std::string name;
+  int num_processes = 3;
+  /// Input values each process may start with (per color).
+  std::vector<std::vector<std::int64_t>> input_domain;
+  /// Output values each process may decide (per color).
+  std::vector<std::vector<std::int64_t>> output_domain;
+  /// ids: participating colors (sorted); inputs/outputs: their values.
+  std::function<bool(const std::vector<Color>& ids,
+                     const std::vector<std::int64_t>& inputs,
+                     const std::vector<std::int64_t>& outputs)>
+      allowed;
+};
+
+Task make_value_task(const ValueTaskSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Standard tasks
+// ---------------------------------------------------------------------------
+
+/// Binary consensus for `n` processes: all decisions equal, and the decided
+/// value is some participant's input. Wait-free unsolvable for n >= 2.
+Task consensus(int n = 3);
+
+/// Inputless (3,2)-set agreement: process i starts with value i+1; decisions
+/// are participants' inputs with at most two distinct values overall.
+/// Wait-free unsolvable (the classic set-agreement impossibility).
+Task set_agreement_32();
+
+/// k-set agreement with distinct fixed inputs 1..n for n processes.
+Task set_agreement(int n, int k);
+
+/// The identity task: each process outputs its own input (single facet).
+/// Trivially solvable with zero communication (radius 0).
+Task identity_task();
+
+/// Index renaming: three processes with a single input facet pick distinct
+/// names in {1, ..., name_count}. Solvable at radius 0 for name_count >= 3
+/// since ids are known.
+Task renaming(int name_count = 5);
+
+/// Discrete approximate agreement on the integer line {0..span}: inputs are
+/// the endpoints {0, span}; decisions lie between the participants' min and
+/// max inputs and within distance 1 of each other. Solvable; the required
+/// protocol radius grows with `span` (≈ log2(span) rounds of halving).
+Task approximate_agreement(int span = 2);
+
+/// The "r-round subdivision task": Δ(σ) = Ch^r(σ) for the single input
+/// facet (with subdivision vertices relabeled as outputs). Solvable at
+/// radius exactly r; used to calibrate the solver's radius ladder.
+Task subdivision_task(int rounds);
+
+// ---------------------------------------------------------------------------
+// Paper tasks (figures)
+// ---------------------------------------------------------------------------
+
+/// Figure 1: majority consensus. Binary inputs; decisions are participants'
+/// inputs; when all three participate, either all agree or strictly more
+/// processes decide 0 than 1. Satisfies the colorless ACT conditions yet is
+/// wait-free unsolvable (via LAP splitting + Corollary 5.5).
+Task majority_consensus();
+
+/// Figure 2 / §6.1: the hourglass task. Single input facet. Solo executions
+/// decide 0; pair executions with P0 may additionally decide output 1 —
+/// with P0's output-1 vertex y *shared* between the {P0,P1} and {P0,P2}
+/// paths ("pinched at the waist") — and the {P1,P2} pair decides output 2;
+/// with all three processes, any triangle of O is valid. The pinch makes y
+/// a local articulation point (link components {a1, a2} and {s1, s2}). The
+/// task satisfies the colorless ACT condition yet is wait-free unsolvable:
+/// splitting y disconnects s0 from s1 in Δ'({x0,x1}) (Corollary 5.5).
+Task hourglass();
+
+/// The twisted hourglass: same vertices and two-process paths as the
+/// hourglass, but the bowtie pairs y with {a1, s2} and {a2, s1}. The
+/// boundary walk then crosses the waist twice in the *same* direction
+/// (class γ² in the fundamental group), so no continuous map |I| → |O|
+/// exists — yet the class vanishes over GF(2). This is the showcase for
+/// the mod-3 half of the homological obstruction engine: the GF(2) check
+/// alone cannot refute this task, GF(3) does. (Not a paper task; a library
+/// extension exercising the boundary between Corollary-style and
+/// contractibility-style obstructions.)
+Task twisted_hourglass();
+
+/// Figure 8 / §6.2: the pinwheel task. A subtask of inputless 2-set
+/// agreement keeping all vertex/edge outputs but only nine triangles (three
+/// "blades" in a 3-fold symmetric pattern). Splitting its six LAPs yields
+/// three disconnected blades; unsolvable via Corollary 5.6.
+Task pinwheel();
+
+/// The value vectors (v0, v1, v2) of the pinwheel's nine kept triangles.
+std::vector<std::array<int, 3>> pinwheel_kept_vectors();
+
+/// Figures 3–4: the running example used to illustrate canonicalization —
+/// two input facets sharing an edge whose Δ images share a facet ("the green
+/// facet"), which canonicalization pulls apart.
+Task fig3_running_example();
+
+/// Test-and-set as a decision task: every participant decides win (1) or
+/// lose (0); exactly one participant wins, and a solo participant must win.
+/// Unsolvable from read/write registers for every n >= 2 (TAS has consensus
+/// number 2); for n = 2 the solo-winner constraint already disconnects the
+/// corner choices, and the same connectivity obstruction scales up.
+Task test_and_set(int n = 3);
+
+/// Weak symmetry breaking with known ids: every process decides 0 or 1, and
+/// when all n participate, not all decisions are equal. With distinct known
+/// ids this is trivially solvable at radius 0 (id-based decision); it is the
+/// classic contrast to the comparison-based setting.
+Task weak_symmetry_breaking(int n = 3);
+
+/// The fan task: a single input facet whose output complex is a fan of
+/// `rim_length` triangles around a central color-0 vertex, with a rim path
+/// of alternating colors 1/2. Link-connected and contractible, hence
+/// solvable; the link of the center is a path of length `rim_length`, which
+/// makes the family the natural sweep for the Figure-7 algorithm's
+/// "termination time proportional to the longest link" claim.
+Task fan_task(int rim_length);
+
+// ---------------------------------------------------------------------------
+// Loop agreement
+// ---------------------------------------------------------------------------
+
+/// Chromatic encoding of loop agreement on a 2-complex `out` with
+/// distinguished vertices d0, d1, d2 and connecting paths p01, p12, p20
+/// (inclusive of endpoints). Process inputs are indices {0,1,2}; if all
+/// start on k they decide d_k; two distinct indices k,l → decisions on the
+/// path p_kl; all three → any simplex of `out`.
+/// `out` must be colorless (vertices colored kNoColor) over `pool`.
+Task loop_agreement(std::shared_ptr<VertexPool> pool, const SimplicialComplex& out,
+                    const std::array<VertexId, 3>& distinguished,
+                    const std::array<std::vector<VertexId>, 3>& paths,
+                    std::string name);
+
+/// Loop agreement on the hollow triangle (a 3-cycle, filled with nothing):
+/// the loop is not contractible, so the task is unsolvable.
+Task loop_agreement_hollow_triangle();
+
+/// Loop agreement on a filled (one-round subdivided) triangle: the loop is
+/// contractible, so the task is solvable.
+Task loop_agreement_filled_triangle();
+
+/// Loop agreement on the 7-vertex (Császár) torus along a non-contractible
+/// loop: unsolvable; the boundary loop generates H1 of the torus, so the
+/// homological engine refutes it over every prime.
+Task loop_agreement_torus();
+
+/// Loop agreement on the 6-vertex projective plane along the essential
+/// loop: unsolvable; RP²'s H1 is pure 2-torsion, so this instance exercises
+/// the GF(2) half of the engine on a genuinely non-orientable target.
+Task loop_agreement_projective_plane();
+
+// ---------------------------------------------------------------------------
+// Two-process tasks (Proposition 5.4)
+// ---------------------------------------------------------------------------
+
+/// Two-process binary consensus (unsolvable: Δ(mixed edge) is disconnected).
+Task consensus_2();
+
+/// Two-process approximate agreement with span 2 (solvable).
+Task approximate_agreement_2(int span = 2);
+
+// ---------------------------------------------------------------------------
+// Random tasks (property testing / Fig. 6 preservation sweeps)
+// ---------------------------------------------------------------------------
+
+struct RandomTaskParams {
+  int num_input_facets = 2;  // facets of I (from the binary input complex)
+  int output_values_per_color = 3;
+  /// How aggressively full-participation triangles are deleted: each pass
+  /// attempts a coverage-preserving deletion of every triangle with
+  /// `deletion_prob`. More passes ⇒ sparser Δ(σ) ⇒ more LAPs/holes.
+  int deletion_passes = 3;
+  double deletion_prob = 0.7;
+  /// With restricted faces (default), Δ on edges/vertices starts from the
+  /// downward closure of the kept triangles and is then randomly *thinned*:
+  /// each edge image keeps a random subset of its pairs (each with
+  /// `edge_keep_prob`, at least one), and each vertex a random subset of
+  /// the values every containing edge still offers. This is the pinwheel's
+  /// family (Fig. 8), where LAPs and holes genuinely obstruct solvability.
+  /// Otherwise faces keep the full universal images (every value allowed),
+  /// which is almost always solvable.
+  bool restricted_faces = true;
+  double edge_keep_prob = 0.6;
+  std::uint64_t seed = 0;
+};
+
+/// Generates a random valid task: a random pure 2-dimensional input complex,
+/// random facet images over a small output universe, and Δ extended to faces
+/// by downward closure (restriction), which always yields a carrier map.
+Task random_task(const RandomTaskParams& params);
+
+}  // namespace zoo
+}  // namespace trichroma

@@ -1,0 +1,309 @@
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "tasks/builder.h"
+#include "tasks/zoo.h"
+#include "topology/subdivision.h"
+
+namespace trichroma {
+namespace zoo {
+
+namespace {
+
+/// Interns the input vertex for (color, value): (c, ("in", value)).
+VertexId input_vertex(VertexPool& pool, Color c, std::int64_t value) {
+  ValuePool& vals = pool.values();
+  return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(value)}));
+}
+
+/// Interns the output vertex for (color, value): (c, ("out", value)).
+VertexId output_vertex(VertexPool& pool, Color c, std::int64_t value) {
+  ValuePool& vals = pool.values();
+  return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(value)}));
+}
+
+/// Calls `f` with every assignment picking one value per position from
+/// `domains` (cartesian product), in lexicographic order.
+void for_each_assignment(const std::vector<std::vector<std::int64_t>>& domains,
+                         const std::function<void(const std::vector<std::int64_t>&)>& f) {
+  std::vector<std::int64_t> current(domains.size());
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == domains.size()) {
+      f(current);
+      return;
+    }
+    for (std::int64_t v : domains[i]) {
+      current[i] = v;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+Task make_value_task(const ValueTaskSpec& spec) {
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = spec.name;
+  task.num_processes = spec.num_processes;
+  VertexPool& pool = *task.pool;
+  const int n = spec.num_processes;
+
+  // Enumerate participating color subsets.
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    std::vector<Color> ids;
+    for (int c = 0; c < n; ++c) {
+      if (mask & (1u << c)) ids.push_back(static_cast<Color>(c));
+    }
+    std::vector<std::vector<std::int64_t>> in_domains, out_domains;
+    for (Color c : ids) {
+      in_domains.push_back(spec.input_domain[static_cast<std::size_t>(c)]);
+      out_domains.push_back(spec.output_domain[static_cast<std::size_t>(c)]);
+    }
+    for_each_assignment(in_domains, [&](const std::vector<std::int64_t>& inputs) {
+      std::vector<VertexId> in_verts;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        in_verts.push_back(input_vertex(pool, ids[i], inputs[i]));
+      }
+      const Simplex sigma{Simplex(in_verts)};
+      task.input.add(sigma);
+      std::vector<Simplex> images;
+      for_each_assignment(out_domains, [&](const std::vector<std::int64_t>& outputs) {
+        if (!spec.allowed(ids, inputs, outputs)) return;
+        std::vector<VertexId> out_verts;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          out_verts.push_back(output_vertex(pool, ids[i], outputs[i]));
+        }
+        Simplex tau{Simplex(out_verts)};
+        task.output.add(tau);
+        images.push_back(std::move(tau));
+      });
+      task.delta.set(sigma, std::move(images));
+    });
+  }
+  return task;
+}
+
+Task consensus(int n) {
+  ValueTaskSpec spec;
+  spec.name = "consensus-" + std::to_string(n);
+  spec.num_processes = n;
+  spec.input_domain.assign(static_cast<std::size_t>(n), {0, 1});
+  spec.output_domain.assign(static_cast<std::size_t>(n), {0, 1});
+  spec.allowed = [](const std::vector<Color>&, const std::vector<std::int64_t>& in,
+                    const std::vector<std::int64_t>& out) {
+    for (std::int64_t o : out) {
+      if (o != out[0]) return false;  // agreement
+    }
+    return std::find(in.begin(), in.end(), out[0]) != in.end();  // validity
+  };
+  return make_value_task(spec);
+}
+
+Task set_agreement(int n, int k) {
+  ValueTaskSpec spec;
+  spec.name = std::to_string(n) + "-proc-" + std::to_string(k) + "-set-agreement";
+  spec.num_processes = n;
+  std::vector<std::int64_t> all_values;
+  for (int i = 0; i < n; ++i) all_values.push_back(i + 1);
+  for (int i = 0; i < n; ++i) {
+    spec.input_domain.push_back({i + 1});  // fixed distinct inputs
+    spec.output_domain.push_back(all_values);
+  }
+  spec.allowed = [k](const std::vector<Color>&, const std::vector<std::int64_t>& in,
+                     const std::vector<std::int64_t>& out) {
+    std::set<std::int64_t> distinct(out.begin(), out.end());
+    if (static_cast<int>(distinct.size()) > k) return false;
+    for (std::int64_t o : out) {
+      if (std::find(in.begin(), in.end(), o) == in.end()) return false;
+    }
+    return true;
+  };
+  return make_value_task(spec);
+}
+
+Task set_agreement_32() { return set_agreement(3, 2); }
+
+Task identity_task() {
+  ValueTaskSpec spec;
+  spec.name = "identity";
+  spec.num_processes = 3;
+  for (int i = 0; i < 3; ++i) {
+    spec.input_domain.push_back({i});
+    spec.output_domain.push_back({i});
+  }
+  spec.allowed = [](const std::vector<Color>&, const std::vector<std::int64_t>& in,
+                    const std::vector<std::int64_t>& out) { return in == out; };
+  return make_value_task(spec);
+}
+
+Task renaming(int name_count) {
+  ValueTaskSpec spec;
+  spec.name = "renaming-" + std::to_string(name_count);
+  spec.num_processes = 3;
+  std::vector<std::int64_t> names;
+  for (int i = 1; i <= name_count; ++i) names.push_back(i);
+  for (int i = 0; i < 3; ++i) {
+    spec.input_domain.push_back({i});
+    spec.output_domain.push_back(names);
+  }
+  spec.allowed = [](const std::vector<Color>&, const std::vector<std::int64_t>&,
+                    const std::vector<std::int64_t>& out) {
+    std::set<std::int64_t> distinct(out.begin(), out.end());
+    return distinct.size() == out.size();
+  };
+  return make_value_task(spec);
+}
+
+namespace {
+
+Task approximate_agreement_impl(const std::string& name, int n, int span) {
+  ValueTaskSpec spec;
+  spec.name = name;
+  spec.num_processes = n;
+  std::vector<std::int64_t> outputs;
+  for (int v = 0; v <= span; ++v) outputs.push_back(v);
+  for (int i = 0; i < n; ++i) {
+    spec.input_domain.push_back({0, span});
+    spec.output_domain.push_back(outputs);
+  }
+  spec.allowed = [](const std::vector<Color>&, const std::vector<std::int64_t>& in,
+                    const std::vector<std::int64_t>& out) {
+    const auto [in_min, in_max] = std::minmax_element(in.begin(), in.end());
+    const auto [out_min, out_max] = std::minmax_element(out.begin(), out.end());
+    return *out_min >= *in_min && *out_max <= *in_max && *out_max - *out_min <= 1;
+  };
+  return make_value_task(spec);
+}
+
+}  // namespace
+
+Task approximate_agreement(int span) {
+  return approximate_agreement_impl("approx-agreement-" + std::to_string(span), 3, span);
+}
+
+Task consensus_2() { return consensus(2); }
+
+Task approximate_agreement_2(int span) {
+  return approximate_agreement_impl("approx-agreement-2proc-" + std::to_string(span), 2,
+                                    span);
+}
+
+Task test_and_set(int n) {
+  ValueTaskSpec spec;
+  spec.name = "test-and-set-" + std::to_string(n);
+  spec.num_processes = n;
+  for (int i = 0; i < n; ++i) {
+    spec.input_domain.push_back({0});  // inputless
+    spec.output_domain.push_back({0, 1});
+  }
+  spec.allowed = [](const std::vector<Color>&, const std::vector<std::int64_t>&,
+                    const std::vector<std::int64_t>& out) {
+    return std::count(out.begin(), out.end(), 1) == 1;  // exactly one winner
+  };
+  return make_value_task(spec);
+}
+
+Task weak_symmetry_breaking(int n) {
+  ValueTaskSpec spec;
+  spec.name = "weak-symmetry-breaking-" + std::to_string(n);
+  spec.num_processes = n;
+  for (int i = 0; i < n; ++i) {
+    spec.input_domain.push_back({0});
+    spec.output_domain.push_back({0, 1});
+  }
+  spec.allowed = [n](const std::vector<Color>& ids, const std::vector<std::int64_t>&,
+                     const std::vector<std::int64_t>& out) {
+    if (static_cast<int>(ids.size()) < n) return true;
+    const auto ones = std::count(out.begin(), out.end(), 1);
+    return ones != 0 && ones != static_cast<long>(out.size());
+  };
+  return make_value_task(spec);
+}
+
+Task fan_task(int rim_length) {
+  if (rim_length < 2) rim_length = 2;
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "fan-" + std::to_string(rim_length);
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+
+  const VertexId x0 = input_vertex(pool, 0, 0), x1 = input_vertex(pool, 1, 1),
+                 x2 = input_vertex(pool, 2, 2);
+  task.input.add(Simplex{x0, x1, x2});
+
+  const VertexId center = output_vertex(pool, 0, 0);
+  std::vector<VertexId> rim;
+  for (int i = 0; i <= rim_length; ++i) {
+    rim.push_back(output_vertex(pool, i % 2 == 0 ? 1 : 2, i + 1));
+  }
+  std::vector<Simplex> triangles;
+  for (int i = 0; i < rim_length; ++i) {
+    triangles.push_back(Simplex{center, rim[static_cast<std::size_t>(i)],
+                                rim[static_cast<std::size_t>(i + 1)]});
+  }
+  for (const Simplex& t : triangles) task.output.add(t);
+
+  // Solo: the center for P0, any rim vertex of the right color otherwise.
+  std::vector<Simplex> rim1, rim2;
+  for (VertexId v : rim) {
+    (pool.color(v) == 1 ? rim1 : rim2).push_back(Simplex::single(v));
+  }
+  task.delta.set(Simplex::single(x0), {Simplex::single(center)});
+  task.delta.set(Simplex::single(x1), rim1);
+  task.delta.set(Simplex::single(x2), rim2);
+  // Pairs: spokes of the matching color pair, or rim edges for {P1, P2}.
+  std::vector<Simplex> spokes01, spokes02, rim_edges;
+  for (VertexId v : rim) {
+    (pool.color(v) == 1 ? spokes01 : spokes02).push_back(Simplex{center, v});
+  }
+  for (int i = 0; i < rim_length; ++i) {
+    rim_edges.push_back(Simplex{rim[static_cast<std::size_t>(i)],
+                                rim[static_cast<std::size_t>(i + 1)]});
+  }
+  task.delta.set(Simplex{x0, x1}, std::move(spokes01));
+  task.delta.set(Simplex{x0, x2}, std::move(spokes02));
+  task.delta.set(Simplex{x1, x2}, std::move(rim_edges));
+  task.delta.set(Simplex{x0, x1, x2}, std::move(triangles));
+  return task;
+}
+
+Task subdivision_task(int rounds) {
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "subdivision-task-r" + std::to_string(rounds);
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+
+  const Simplex sigma{input_vertex(pool, 0, 0), input_vertex(pool, 1, 1),
+                      input_vertex(pool, 2, 2)};
+  task.input.add(sigma);
+
+  const SubdividedComplex sub = chromatic_subdivision(pool, task.input, rounds);
+
+  // Relabel subdivision vertices as opaque output values.
+  VertexMap relabel;
+  for (VertexId v : sub.complex.vertex_ids()) {
+    relabel.set(v, output_vertex(pool, pool.color(v), static_cast<std::int64_t>(raw(v))));
+  }
+
+  // Δ(τ) = Ch^r(τ): the dim(τ)-simplices of the subdivision carried by τ.
+  task.input.for_each([&](const Simplex& tau) {
+    std::vector<Simplex> images;
+    for (const Simplex& xi : sub.complex.simplices(tau.dim())) {
+      if (tau.contains_all(sub.carrier_of(xi))) {
+        Simplex out = relabel.apply(xi);
+        task.output.add(out);
+        images.push_back(std::move(out));
+      }
+    }
+    task.delta.set(tau, std::move(images));
+  });
+  return task;
+}
+
+}  // namespace zoo
+}  // namespace trichroma

@@ -1,0 +1,239 @@
+// Loop agreement (Herlihy–Rajsbaum) in its chromatic three-process encoding,
+// plus the two calibration instances used in tests and benches: a
+// non-contractible loop (unsolvable) and a contractible one (solvable).
+
+#include <array>
+#include <set>
+
+#include "tasks/zoo.h"
+#include "topology/homology.h"
+
+namespace trichroma {
+namespace zoo {
+
+namespace {
+
+/// Chromatic output vertex for process `c` deciding value-complex vertex `u`.
+VertexId loop_output(VertexPool& pool, Color c, VertexId u) {
+  ValuePool& vals = pool.values();
+  return pool.vertex(
+      c, vals.of_tuple({vals.of_string("lv"),
+                        vals.of_int(static_cast<std::int64_t>(raw(u)))}));
+}
+
+/// All chromatic simplices {(c, u_c) : c ∈ ids} whose decided value set
+/// spans a simplex of `span_complex`.
+std::vector<Simplex> chromatic_span(VertexPool& pool, const std::vector<Color>& ids,
+                                    const SimplicialComplex& span_complex) {
+  std::vector<Simplex> out;
+  const std::vector<VertexId> universe = span_complex.vertex_ids();
+  std::vector<std::size_t> pick(ids.size(), 0);
+  const std::size_t m = universe.size();
+  if (m == 0) return out;
+  while (true) {
+    std::vector<VertexId> values;
+    for (std::size_t i = 0; i < ids.size(); ++i) values.push_back(universe[pick[i]]);
+    if (span_complex.contains(Simplex(values))) {
+      std::vector<VertexId> verts;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        verts.push_back(loop_output(pool, ids[i], universe[pick[i]]));
+      }
+      out.emplace_back(std::move(verts));
+    }
+    // Advance the mixed-radix counter.
+    std::size_t i = 0;
+    while (i < pick.size() && ++pick[i] == m) {
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == pick.size()) break;
+  }
+  return out;
+}
+
+SimplicialComplex path_complex(const std::vector<VertexId>& path) {
+  SimplicialComplex out;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    out.add(Simplex{path[i], path[i + 1]});
+  }
+  if (path.size() == 1) out.add(Simplex::single(path[0]));
+  return out;
+}
+
+}  // namespace
+
+Task loop_agreement(std::shared_ptr<VertexPool> pool, const SimplicialComplex& out,
+                    const std::array<VertexId, 3>& distinguished,
+                    const std::array<std::vector<VertexId>, 3>& paths,
+                    std::string name) {
+  Task task;
+  task.pool = std::move(pool);
+  task.name = std::move(name);
+  task.num_processes = 3;
+  VertexPool& vp = *task.pool;
+  ValuePool& vals = vp.values();
+
+  auto in_vertex = [&](Color c, int index) {
+    return vp.vertex(c, vals.of_tuple({vals.of_string("idx"), vals.of_int(index)}));
+  };
+
+  // Path complex for an unordered index pair {k, l}: paths[0]=p01,
+  // paths[1]=p12, paths[2]=p20.
+  auto pair_complex = [&](int k, int l) -> SimplicialComplex {
+    const std::set<int> want{k, l};
+    if (want == std::set<int>{0, 1}) return path_complex(paths[0]);
+    if (want == std::set<int>{1, 2}) return path_complex(paths[1]);
+    return path_complex(paths[2]);
+  };
+
+  // Every process may start on any of the three distinguished indices.
+  for (unsigned mask = 1; mask < 8; ++mask) {
+    std::vector<Color> ids;
+    for (int c = 0; c < 3; ++c) {
+      if (mask & (1u << c)) ids.push_back(static_cast<Color>(c));
+    }
+    std::vector<int> indices(ids.size(), 0);
+    while (true) {
+      std::vector<VertexId> in_verts;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        in_verts.push_back(in_vertex(ids[i], indices[i]));
+      }
+      const Simplex sigma{Simplex(in_verts)};
+      task.input.add(sigma);
+
+      const std::set<int> index_set(indices.begin(), indices.end());
+      SimplicialComplex span;
+      if (index_set.size() == 1) {
+        span.add(Simplex::single(distinguished[static_cast<std::size_t>(*index_set.begin())]));
+      } else if (index_set.size() == 2) {
+        auto it = index_set.begin();
+        const int k = *it++;
+        const int l = *it;
+        span = pair_complex(k, l);
+      } else {
+        span = out;
+      }
+      std::vector<Simplex> images = chromatic_span(vp, ids, span);
+      for (const Simplex& im : images) task.output.add(im);
+      task.delta.set(sigma, std::move(images));
+
+      std::size_t i = 0;
+      while (i < indices.size() && ++indices[i] == 3) {
+        indices[i] = 0;
+        ++i;
+      }
+      if (i == indices.size()) break;
+    }
+  }
+  return task;
+}
+
+Task loop_agreement_hollow_triangle() {
+  auto pool = std::make_shared<VertexPool>();
+  ValuePool& vals = pool->values();
+  auto node = [&](int i) {
+    return pool->vertex(kNoColor, vals.of_tuple({vals.of_string("node"), vals.of_int(i)}));
+  };
+  // Hexagonal cycle 0-1-2-3-4-5-0; distinguished vertices 0, 2, 4.
+  SimplicialComplex hexagon;
+  std::array<VertexId, 6> v{node(0), node(1), node(2), node(3), node(4), node(5)};
+  for (int i = 0; i < 6; ++i) {
+    hexagon.add(Simplex{v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>((i + 1) % 6)]});
+  }
+  return loop_agreement(pool, hexagon, {v[0], v[2], v[4]},
+                        {{{v[0], v[1], v[2]}, {v[2], v[3], v[4]}, {v[4], v[5], v[0]}}},
+                        "loop-agreement-hollow-hexagon");
+}
+
+Task loop_agreement_filled_triangle() {
+  auto pool = std::make_shared<VertexPool>();
+  ValuePool& vals = pool->values();
+  auto node = [&](std::string_view label) {
+    return pool->vertex(kNoColor, vals.of_tuple({vals.of_string("node"), vals.of_string(label)}));
+  };
+  // A hexagonal fan around a center: contractible, so the loop bounds.
+  const VertexId d0 = node("d0"), d1 = node("d1"), d2 = node("d2");
+  const VertexId m01 = node("m01"), m12 = node("m12"), m20 = node("m20");
+  const VertexId c = node("c");
+  SimplicialComplex fan;
+  const std::array<VertexId, 6> rim{d0, m01, d1, m12, d2, m20};
+  for (std::size_t i = 0; i < 6; ++i) {
+    fan.add(Simplex{rim[i], rim[(i + 1) % 6], c});
+  }
+  return loop_agreement(pool, fan, {d0, d1, d2},
+                        {{{d0, m01, d1}, {d1, m12, d2}, {d2, m20, d0}}},
+                        "loop-agreement-filled-hexagon");
+}
+
+namespace {
+
+/// Picks a 3-cycle of `surface` that is an edge cycle, not a face, and not
+/// a GF(2) boundary — i.e. a certified non-contractible triangle loop.
+std::array<VertexId, 3> essential_triangle(const SimplicialComplex& surface) {
+  const auto vertices = surface.vertex_ids();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      for (std::size_t k = j + 1; k < vertices.size(); ++k) {
+        const VertexId a = vertices[i], b = vertices[j], c = vertices[k];
+        if (!surface.contains(Simplex{a, b}) || !surface.contains(Simplex{b, c}) ||
+            !surface.contains(Simplex{a, c})) {
+          continue;
+        }
+        if (surface.contains(Simplex{a, b, c})) continue;  // bounds trivially
+        const Chain loop{Simplex{a, b}, Simplex{b, c}, Simplex{a, c}};
+        if (!bounds_in(surface, loop)) return {a, b, c};
+      }
+    }
+  }
+  throw std::logic_error("surface has no essential triangle loop");
+}
+
+Task loop_agreement_on_surface(std::shared_ptr<VertexPool> pool,
+                               const SimplicialComplex& surface, std::string name) {
+  const auto [a, b, c] = essential_triangle(surface);
+  return loop_agreement(std::move(pool), surface, {a, b, c},
+                        {{{a, b}, {b, c}, {c, a}}}, std::move(name));
+}
+
+}  // namespace
+
+Task loop_agreement_torus() {
+  // The 7-vertex cyclic torus: triangles {i, i+1, i+3} and {i, i+2, i+3}
+  // over Z7 — 14 faces on the complete graph K7, χ = 0.
+  auto pool = std::make_shared<VertexPool>();
+  ValuePool& vals = pool->values();
+  std::array<VertexId, 7> v{};
+  for (int i = 0; i < 7; ++i) {
+    v[static_cast<std::size_t>(i)] = pool->vertex(
+        kNoColor, vals.of_tuple({vals.of_string("node"), vals.of_int(i)}));
+  }
+  SimplicialComplex torus;
+  for (int i = 0; i < 7; ++i) {
+    auto at = [&](int x) { return v[static_cast<std::size_t>(x % 7)]; };
+    torus.add(Simplex{at(i), at(i + 1), at(i + 3)});
+    torus.add(Simplex{at(i), at(i + 2), at(i + 3)});
+  }
+  return loop_agreement_on_surface(pool, torus, "loop-agreement-torus");
+}
+
+Task loop_agreement_projective_plane() {
+  // The 6-vertex projective plane (hemi-icosahedron): 10 faces on K6, χ = 1.
+  auto pool = std::make_shared<VertexPool>();
+  ValuePool& vals = pool->values();
+  std::array<VertexId, 7> v{};
+  for (int i = 1; i <= 6; ++i) {
+    v[static_cast<std::size_t>(i)] = pool->vertex(
+        kNoColor, vals.of_tuple({vals.of_string("node"), vals.of_int(i)}));
+  }
+  SimplicialComplex rp2;
+  const int faces[10][3] = {{1, 2, 5}, {1, 2, 6}, {1, 3, 4}, {1, 3, 6}, {1, 4, 5},
+                            {2, 3, 4}, {2, 3, 5}, {2, 4, 6}, {3, 5, 6}, {4, 5, 6}};
+  for (const auto& f : faces) {
+    rp2.add(Simplex{v[static_cast<std::size_t>(f[0])], v[static_cast<std::size_t>(f[1])],
+                    v[static_cast<std::size_t>(f[2])]});
+  }
+  return loop_agreement_on_surface(pool, rp2, "loop-agreement-projective-plane");
+}
+
+}  // namespace zoo
+}  // namespace trichroma

@@ -1,0 +1,209 @@
+// Tasks taken directly from the paper's figures: majority consensus (Fig. 1),
+// the hourglass task (Fig. 2, §6.1), the pinwheel task (Fig. 8, §6.2), and
+// the canonicalization running example (Figs. 3–4).
+
+#include <algorithm>
+#include <array>
+
+#include "tasks/builder.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace zoo {
+
+Task majority_consensus() {
+  ValueTaskSpec spec;
+  spec.name = "majority-consensus";
+  spec.num_processes = 3;
+  spec.input_domain.assign(3, {0, 1});
+  spec.output_domain.assign(3, {0, 1});
+  spec.allowed = [](const std::vector<Color>& ids, const std::vector<std::int64_t>& in,
+                    const std::vector<std::int64_t>& out) {
+    // Validity: every decision appeared as some participant's input.
+    for (std::int64_t o : out) {
+      if (std::find(in.begin(), in.end(), o) == in.end()) return false;
+    }
+    if (ids.size() < 3) return true;
+    // All three participate: agree, or strictly more decide 0 than 1.
+    const auto zeros = std::count(out.begin(), out.end(), 0);
+    const auto ones = static_cast<std::int64_t>(out.size()) - zeros;
+    return zeros == 0 || ones == 0 || zeros > ones;
+  };
+  return make_value_task(spec);
+}
+
+Task hourglass() {
+  // The hourglass output complex is the "bowtie" of two triangles sharing
+  // P0's output-1 vertex y — {y, a1, a2} (the two partners' output-1
+  // vertices) and {y, s1, s2} (their solo vertices) — plus a fan of six
+  // periphery triangles around P0's solo vertex s0 covering the two-process
+  // output paths. The pinch: the pair executions {P0,P1} and {P0,P2} both
+  // let P0 decide the *same* vertex y, whose link in Δ(σ) has the two
+  // components {a1, a2} and {s1, s2}. The boundary walk traced by the
+  // two-process paths crosses the waist twice in *opposite* directions
+  // (word α⁻¹β·β⁻¹α in π1), so it is null-homotopic and a continuous map
+  // |I| → |O| carried by Δ exists — the colorless ACT condition holds.
+  // Yet the chromatic task is wait-free unsolvable: splitting y separates
+  // s0 from s1 in Δ'({x0, x1}) (Corollary 5.5, a consensus-style
+  // obstruction).
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "hourglass";
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+  ValuePool& vals = pool.values();
+
+  auto in_vertex = [&](Color c) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(c)}));
+  };
+  auto out_vertex = [&](Color c, std::int64_t value) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(value)}));
+  };
+  const VertexId x0 = in_vertex(0), x1 = in_vertex(1), x2 = in_vertex(2);
+  task.input.add(Simplex{x0, x1, x2});
+
+  const VertexId s0 = out_vertex(0, 0), s1 = out_vertex(1, 0), s2 = out_vertex(2, 0);
+  const VertexId y = out_vertex(0, 1);                            // the LAP
+  const VertexId a1 = out_vertex(1, 1), a2 = out_vertex(2, 1);    // pairs with P0
+  const VertexId b1 = out_vertex(1, 2), b2 = out_vertex(2, 2);    // {P1,P2} pair
+
+  const std::vector<Simplex> triangles{
+      Simplex{y, a1, a2},  Simplex{y, s1, s2},   // the bowtie around y
+      Simplex{s0, a1, a2}, Simplex{s0, s1, a2},  // periphery fan around s0
+      Simplex{s0, s1, b2}, Simplex{s0, b1, b2},  Simplex{s0, b1, s2},
+      Simplex{s0, s1, s2},
+  };
+  for (const Simplex& t : triangles) task.output.add(t);
+
+  task.delta.set(Simplex::single(x0), {Simplex::single(s0)});
+  task.delta.set(Simplex::single(x1), {Simplex::single(s1)});
+  task.delta.set(Simplex::single(x2), {Simplex::single(s2)});
+  // Two-process executions decide along a path: solo values at the ends,
+  // the shared vertex y and the partner's output-1 / output-2 vertex inside.
+  task.delta.set(Simplex{x0, x1}, {Simplex{s0, a1}, Simplex{a1, y}, Simplex{y, s1}});
+  task.delta.set(Simplex{x0, x2}, {Simplex{s0, a2}, Simplex{a2, y}, Simplex{y, s2}});
+  task.delta.set(Simplex{x1, x2}, {Simplex{s1, b2}, Simplex{b2, b1}, Simplex{b1, s2}});
+  task.delta.set(Simplex{x0, x1, x2}, triangles);  // any triangle of O
+  return task;
+}
+
+Task twisted_hourglass() {
+  // Identical interface to hourglass(), but the bowtie is {y, a1, s2} /
+  // {y, a2, s1}: the two waist crossings of the boundary walk now compose
+  // to γ² instead of cancelling. See zoo.h for the role of this task.
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "twisted-hourglass";
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+  ValuePool& vals = pool.values();
+
+  auto in_vertex = [&](Color c) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(c)}));
+  };
+  auto out_vertex = [&](Color c, std::int64_t value) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(value)}));
+  };
+  const VertexId x0 = in_vertex(0), x1 = in_vertex(1), x2 = in_vertex(2);
+  task.input.add(Simplex{x0, x1, x2});
+
+  const VertexId s0 = out_vertex(0, 0), s1 = out_vertex(1, 0), s2 = out_vertex(2, 0);
+  const VertexId y = out_vertex(0, 1);
+  const VertexId a1 = out_vertex(1, 1), a2 = out_vertex(2, 1);
+  const VertexId b1 = out_vertex(1, 2), b2 = out_vertex(2, 2);
+
+  const std::vector<Simplex> triangles{
+      Simplex{y, a1, s2},  Simplex{y, a2, s1},   // the twisted bowtie
+      Simplex{s0, a1, s2}, Simplex{s0, s1, a2},  // periphery fan around s0
+      Simplex{s0, s1, b2}, Simplex{s0, b1, b2},  Simplex{s0, b1, s2},
+  };
+  for (const Simplex& t : triangles) task.output.add(t);
+
+  task.delta.set(Simplex::single(x0), {Simplex::single(s0)});
+  task.delta.set(Simplex::single(x1), {Simplex::single(s1)});
+  task.delta.set(Simplex::single(x2), {Simplex::single(s2)});
+  task.delta.set(Simplex{x0, x1}, {Simplex{s0, a1}, Simplex{a1, y}, Simplex{y, s1}});
+  task.delta.set(Simplex{x0, x2}, {Simplex{s0, a2}, Simplex{a2, y}, Simplex{y, s2}});
+  task.delta.set(Simplex{x1, x2}, {Simplex{s1, b2}, Simplex{b2, b1}, Simplex{b1, s2}});
+  task.delta.set(Simplex{x0, x1, x2}, triangles);
+  return task;
+}
+
+std::vector<std::array<int, 3>> pinwheel_kept_vectors() {
+  // Nine triangles: the all-same orbit plus two mixed orbits of the
+  // simultaneous rotation (color i -> i+1, value v -> v+1 cyclically).
+  // Their triangle-adjacency graph has exactly three components ("blades"),
+  // pairwise glued at single vertices — the six LAPs.
+  return {
+      {1, 1, 1}, {2, 2, 2}, {3, 3, 3},  // all-same
+      {2, 1, 1}, {2, 3, 2}, {3, 3, 1},  // orbit of 211
+      {1, 2, 2}, {3, 2, 3}, {1, 1, 3},  // orbit of 122
+  };
+}
+
+Task pinwheel() {
+  const auto kept = pinwheel_kept_vectors();
+  ValueTaskSpec spec;
+  spec.name = "pinwheel";
+  spec.num_processes = 3;
+  for (int i = 0; i < 3; ++i) {
+    spec.input_domain.push_back({i + 1});  // process i starts with i+1
+    spec.output_domain.push_back({1, 2, 3});
+  }
+  spec.allowed = [kept](const std::vector<Color>& ids,
+                        const std::vector<std::int64_t>& in,
+                        const std::vector<std::int64_t>& out) {
+    if (ids.size() < 3) {
+      // Executions of one or two processes are untouched 2-set agreement:
+      // decide participants' inputs (≤ 2 distinct values automatically).
+      for (std::int64_t o : out) {
+        if (std::find(in.begin(), in.end(), o) == in.end()) return false;
+      }
+      return true;
+    }
+    for (const auto& v : kept) {
+      if (out[0] == v[0] && out[1] == v[1] && out[2] == v[2]) return true;
+    }
+    return false;
+  };
+  return make_value_task(spec);
+}
+
+Task fig3_running_example() {
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "fig3-running-example";
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+  ValuePool& vals = pool.values();
+
+  auto in_vertex = [&](Color c, std::string_view label) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_string(label)}));
+  };
+  auto out_vertex = [&](Color c, std::string_view label) {
+    return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_string(label)}));
+  };
+
+  // Two input facets sharing the {white, gray} edge; the black process has
+  // two possible inputs a / b.
+  const VertexId x0a = in_vertex(0, "a"), x0b = in_vertex(0, "b");
+  const VertexId x1 = in_vertex(1, "u"), x2 = in_vertex(2, "v");
+  const Simplex sigma{x0a, x1, x2}, sigma_prime{x0b, x1, x2};
+  task.input.add(sigma);
+  task.input.add(sigma_prime);
+
+  // The green facet is in Δ(σ) and Δ(σ'); the h-facet only in Δ(σ).
+  const Simplex green{out_vertex(0, "g0"), out_vertex(1, "g1"), out_vertex(2, "g2")};
+  const Simplex h{out_vertex(0, "h0"), out_vertex(1, "g1"), out_vertex(2, "h2")};
+  task.output.add(green);
+  task.output.add(h);
+
+  std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash> facet_images;
+  facet_images[sigma] = {green, h};
+  facet_images[sigma_prime] = {green};
+  task.delta = downward_closure(pool, task.input, facet_images);
+  return task;
+}
+
+}  // namespace zoo
+}  // namespace trichroma

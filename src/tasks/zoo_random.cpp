@@ -1,0 +1,190 @@
+// Random-task generator for property tests and the Fig. 6 solvability-
+// preservation sweeps.
+//
+// Construction: start from the "universal" task over m output values —
+// every process may decide any value, Δ(τ) = all chromatic assignments —
+// and randomly delete full-participation triangles per input facet while
+// preserving *pair coverage*: every output edge of every surviving face
+// image must stay a face of some kept triangle. With `restricted_faces`
+// (the default), Δ on edges and vertices is then the downward closure of
+// the kept triangles — exactly the family the pinwheel (Fig. 8) belongs
+// to, where LAPs and holes genuinely obstruct solvability. Multi-facet
+// inputs can make the closure prune a face image to empty; the generator
+// retries with a perturbed seed and finally falls back to universal faces,
+// so it always returns a valid task.
+
+#include <array>
+#include <random>
+
+#include "tasks/builder.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace zoo {
+
+namespace {
+
+VertexId in_vertex(VertexPool& pool, Color c, std::int64_t v) {
+  ValuePool& vals = pool.values();
+  return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(v)}));
+}
+
+VertexId out_vertex(VertexPool& pool, Color c, std::int64_t v) {
+  ValuePool& vals = pool.values();
+  return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(v)}));
+}
+
+/// One generation attempt; the result may fail validation when restricted
+/// faces prune to empty on shared faces.
+Task attempt(const RandomTaskParams& params, std::uint64_t salt) {
+  std::mt19937_64 rng(params.seed * 0x9e3779b97f4a7c15ull + salt);
+  Task task;
+  task.pool = std::make_shared<VertexPool>();
+  task.name = "random-task-seed" + std::to_string(params.seed);
+  task.num_processes = 3;
+  VertexPool& pool = *task.pool;
+  const int m = params.output_values_per_color;
+
+  // Input complex: distinct facets from the full binary input complex.
+  std::vector<Simplex> candidates;
+  for (int b0 = 0; b0 < 2; ++b0) {
+    for (int b1 = 0; b1 < 2; ++b1) {
+      for (int b2 = 0; b2 < 2; ++b2) {
+        candidates.push_back(Simplex{in_vertex(pool, 0, b0), in_vertex(pool, 1, b1),
+                                     in_vertex(pool, 2, b2)});
+      }
+    }
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  const int facet_count =
+      std::min<int>(params.num_input_facets, static_cast<int>(candidates.size()));
+  std::vector<Simplex> input_facets(candidates.begin(),
+                                    candidates.begin() + facet_count);
+  for (const Simplex& f : input_facets) task.input.add(f);
+
+  // Per input facet: all m^3 triangles, then random coverage-preserving
+  // deletions.
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash> facet_images;
+  for (const Simplex& f : input_facets) {
+    std::vector<std::array<int, 3>> result;
+    for (int a = 0; a < m; ++a) {
+      for (int b = 0; b < m; ++b) {
+        for (int c = 0; c < m; ++c) result.push_back({a, b, c});
+      }
+    }
+    for (int pass = 0; pass < params.deletion_passes; ++pass) {
+      std::shuffle(result.begin(), result.end(), rng);
+      const std::vector<std::array<int, 3>> snapshot = result;
+      for (const auto& t : snapshot) {
+        if (coin(rng) >= params.deletion_prob) continue;
+        std::vector<std::array<int, 3>> remaining;
+        for (const auto& r : result) {
+          if (r != t) remaining.push_back(r);
+        }
+        if (remaining.size() == result.size()) continue;  // already gone
+        auto covered = [&](int pos1, int v1, int pos2, int v2) {
+          for (const auto& r : remaining) {
+            if (r[static_cast<std::size_t>(pos1)] == v1 &&
+                r[static_cast<std::size_t>(pos2)] == v2) {
+              return true;
+            }
+          }
+          return false;
+        };
+        if (covered(0, t[0], 1, t[1]) && covered(0, t[0], 2, t[2]) &&
+            covered(1, t[1], 2, t[2])) {
+          result = std::move(remaining);
+        }
+      }
+    }
+    for (const auto& t : result) {
+      facet_images[f].push_back(Simplex{out_vertex(pool, 0, t[0]),
+                                        out_vertex(pool, 1, t[1]),
+                                        out_vertex(pool, 2, t[2])});
+    }
+  }
+
+  if (params.restricted_faces) {
+    task.delta = downward_closure(pool, task.input, facet_images);
+    for (const auto& [facet, images] : facet_images) {
+      (void)facet;
+      for (const Simplex& im : images) task.output.add(im);
+    }
+    // Thin the edge images: keep a random non-empty subset of each edge's
+    // pairs. Shrinking a face image preserves monotonicity upward; the
+    // vertices below are recomputed to stay inside every containing edge.
+    for (const Simplex& e : task.input.simplices(1)) {
+      std::vector<Simplex> pairs = task.delta.facet_images(e);
+      std::vector<Simplex> keep;
+      for (const Simplex& p : pairs) {
+        if (coin(rng) < params.edge_keep_prob) keep.push_back(p);
+      }
+      if (keep.empty() && !pairs.empty()) {
+        keep.push_back(pairs[static_cast<std::size_t>(
+            std::uniform_int_distribution<std::size_t>(0, pairs.size() - 1)(rng))]);
+      }
+      task.delta.set(e, std::move(keep));
+    }
+    for (VertexId x : task.input.vertex_ids()) {
+      // Values offered by every containing edge image.
+      std::vector<Simplex> allowed;
+      for (const Simplex& v : task.delta.facet_images(Simplex::single(x))) {
+        bool in_all = true;
+        for (const Simplex& e : task.input.simplices(1)) {
+          if (!e.contains(x)) continue;
+          if (!task.delta.image_complex(e).contains_vertex(v[0])) in_all = false;
+        }
+        if (in_all) allowed.push_back(v);
+      }
+      task.delta.set(Simplex::single(x), std::move(allowed));
+    }
+    return task;
+  }
+
+  // Universal faces: every chromatic assignment allowed below the top.
+  task.input.for_each([&](const Simplex& tau) {
+    std::vector<Simplex> images;
+    if (tau.size() == 3) {
+      images = facet_images.at(tau);
+    } else {
+      std::vector<Color> ids;
+      for (VertexId v : tau) ids.push_back(pool.color(v));
+      std::vector<int> pickv(ids.size(), 0);
+      while (true) {
+        std::vector<VertexId> verts;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          verts.push_back(out_vertex(pool, ids[i], pickv[i]));
+        }
+        images.push_back(Simplex(std::move(verts)));
+        std::size_t i = 0;
+        while (i < pickv.size() && ++pickv[i] == m) {
+          pickv[i] = 0;
+          ++i;
+        }
+        if (i == pickv.size()) break;
+      }
+    }
+    for (const Simplex& im : images) task.output.add(im);
+    task.delta.set(tau, std::move(images));
+  });
+  return task;
+}
+
+}  // namespace
+
+Task random_task(const RandomTaskParams& params) {
+  for (std::uint64_t salt = 0; salt < 10; ++salt) {
+    Task task = attempt(params, salt);
+    if (task.validate().empty()) return task;
+  }
+  // Restricted faces kept pruning to empty; fall back to universal faces,
+  // which are always valid.
+  RandomTaskParams relaxed = params;
+  relaxed.restricted_faces = false;
+  Task task = attempt(relaxed, 0);
+  return task;
+}
+
+}  // namespace zoo
+}  // namespace trichroma

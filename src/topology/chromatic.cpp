@@ -1,0 +1,63 @@
+#include "topology/chromatic.h"
+
+namespace trichroma {
+
+std::set<Color> colors_of(const VertexPool& pool, const Simplex& s) {
+  std::set<Color> out;
+  for (VertexId v : s) out.insert(pool.color(v));
+  return out;
+}
+
+bool is_chromatic_simplex(const VertexPool& pool, const Simplex& s) {
+  return colors_of(pool, s).size() == s.size();
+}
+
+bool is_chromatic_complex(const VertexPool& pool, const SimplicialComplex& k) {
+  bool ok = true;
+  k.for_each([&](const Simplex& s) {
+    if (!is_chromatic_simplex(pool, s)) ok = false;
+  });
+  return ok;
+}
+
+bool is_properly_colored(const VertexPool& pool, const SimplicialComplex& k, int n) {
+  std::set<Color> expect;
+  for (Color c = 0; c < n; ++c) expect.insert(c);
+  for (const Simplex& f : k.facets()) {
+    if (colors_of(pool, f) != expect) return false;
+  }
+  return true;
+}
+
+Simplex VertexMap::apply(const Simplex& s) const {
+  std::vector<VertexId> out;
+  out.reserve(s.size());
+  for (VertexId v : s) out.push_back(map_.at(v));
+  return Simplex(std::move(out));
+}
+
+bool VertexMap::is_simplicial(const SimplicialComplex& domain,
+                              const SimplicialComplex& codomain) const {
+  bool ok = true;
+  domain.for_each([&](const Simplex& s) {
+    if (!ok) return;
+    for (VertexId v : s) {
+      if (!defined(v)) {
+        ok = false;
+        return;
+      }
+    }
+    if (!codomain.contains(apply(s))) ok = false;
+  });
+  return ok;
+}
+
+bool VertexMap::is_color_preserving(const VertexPool& pool,
+                                    const SimplicialComplex& domain) const {
+  for (VertexId v : domain.vertex_ids()) {
+    if (!defined(v) || pool.color(apply(v)) != pool.color(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace trichroma

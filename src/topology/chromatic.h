@@ -1,0 +1,55 @@
+#pragma once
+// Chromatic structure of complexes: color sets, chromatic validity,
+// chromatic and color-agnostic simplicial maps.
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/complex.h"
+#include "topology/simplex.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+
+/// The set of colors (process ids) appearing in `s`.
+std::set<Color> colors_of(const VertexPool& pool, const Simplex& s);
+
+/// True iff no color repeats within `s`.
+bool is_chromatic_simplex(const VertexPool& pool, const Simplex& s);
+
+/// True iff every simplex of `k` is chromatic. (Checking facets suffices,
+/// but every stored simplex is checked for defense in depth.)
+bool is_chromatic_complex(const VertexPool& pool, const SimplicialComplex& k);
+
+/// True iff `k`'s facets all carry exactly the colors 0..n-1.
+bool is_properly_colored(const VertexPool& pool, const SimplicialComplex& k, int n);
+
+/// A vertex-level map between complexes, applied simplex-wise.
+/// f(σ) = { f(v) : v ∈ σ }; note the image may have lower dimension if the
+/// map is not injective on σ.
+class VertexMap {
+ public:
+  void set(VertexId from, VertexId to) { map_[from] = to; }
+  bool defined(VertexId v) const { return map_.count(v) > 0; }
+  VertexId apply(VertexId v) const { return map_.at(v); }
+  Simplex apply(const Simplex& s) const;
+  std::size_t size() const { return map_.size(); }
+
+  /// True iff every simplex of `domain` maps to a simplex of `codomain`.
+  bool is_simplicial(const SimplicialComplex& domain,
+                     const SimplicialComplex& codomain) const;
+
+  /// True iff color(f(v)) == color(v) for every vertex of `domain`.
+  bool is_color_preserving(const VertexPool& pool,
+                           const SimplicialComplex& domain) const;
+
+  const std::unordered_map<VertexId, VertexId, VertexIdHash>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<VertexId, VertexId, VertexIdHash> map_;
+};
+
+}  // namespace trichroma

@@ -1,0 +1,161 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace trichroma {
+
+std::unordered_map<VertexId, std::vector<VertexId>, VertexIdHash> adjacency(
+    const SimplicialComplex& k) {
+  std::unordered_map<VertexId, std::vector<VertexId>, VertexIdHash> adj;
+  for (VertexId v : k.vertex_ids()) adj[v];  // ensure isolated vertices appear
+  for (const Simplex& e : k.simplices(1)) {
+    adj[e[0]].push_back(e[1]);
+    adj[e[1]].push_back(e[0]);
+  }
+  for (auto& [v, nbrs] : adj) {
+    (void)v;
+    std::sort(nbrs.begin(), nbrs.end(),
+              [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+std::vector<std::vector<VertexId>> connected_components(const SimplicialComplex& k) {
+  const auto adj = adjacency(k);
+  std::unordered_map<VertexId, bool, VertexIdHash> seen;
+  std::vector<std::vector<VertexId>> components;
+  for (VertexId root : k.vertex_ids()) {
+    if (seen[root]) continue;
+    std::vector<VertexId> comp;
+    std::deque<VertexId> queue{root};
+    seen[root] = true;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      comp.push_back(v);
+      for (VertexId u : adj.at(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end(),
+              [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+    components.push_back(std::move(comp));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return raw(a[0]) < raw(b[0]); });
+  return components;
+}
+
+std::size_t component_count(const SimplicialComplex& k) {
+  return connected_components(k).size();
+}
+
+bool is_connected(const SimplicialComplex& k) { return component_count(k) == 1; }
+
+bool same_component(const SimplicialComplex& k, VertexId a, VertexId b) {
+  for (const auto& comp : connected_components(k)) {
+    const bool has_a = std::binary_search(
+        comp.begin(), comp.end(), a,
+        [](VertexId x, VertexId y) { return raw(x) < raw(y); });
+    if (has_a) {
+      return std::binary_search(comp.begin(), comp.end(), b,
+                                [](VertexId x, VertexId y) { return raw(x) < raw(y); });
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<VertexId>> lex_min_shortest_path_symmetric(
+    const SimplicialComplex& k, VertexId from, VertexId to) {
+  // Canonicalize by orienting from the smaller endpoint, comparing the two
+  // greedy candidates, and reversing back if needed.
+  if (raw(to) < raw(from)) {
+    auto path = lex_min_shortest_path_symmetric(k, to, from);
+    if (path.has_value()) std::reverse(path->begin(), path->end());
+    return path;
+  }
+  auto forward = lex_min_shortest_path(k, from, to);
+  auto backward = lex_min_shortest_path(k, to, from);
+  if (!forward.has_value() || !backward.has_value()) return std::nullopt;
+  std::reverse(backward->begin(), backward->end());
+  return std::min(*forward, *backward,
+                  [](const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+                    return std::lexicographical_compare(
+                        a.begin(), a.end(), b.begin(), b.end(),
+                        [](VertexId x, VertexId y) { return raw(x) < raw(y); });
+                  });
+}
+
+std::optional<std::size_t> path_distance(const SimplicialComplex& k, VertexId from,
+                                         VertexId to) {
+  const auto adj = adjacency(k);
+  if (adj.count(from) == 0 || adj.count(to) == 0) return std::nullopt;
+  std::unordered_map<VertexId, std::size_t, VertexIdHash> dist;
+  std::deque<VertexId> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (v == to) return dist[v];
+    for (VertexId u : adj.at(v)) {
+      if (dist.count(u) == 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<VertexId>> lex_min_shortest_path(const SimplicialComplex& k,
+                                                           VertexId from, VertexId to) {
+  const auto adj = adjacency(k);
+  if (adj.count(from) == 0 || adj.count(to) == 0) return std::nullopt;
+  if (from == to) return std::vector<VertexId>{from};
+
+  // BFS from `to` gives every vertex its distance to the target; then the
+  // lexicographically-smallest shortest path is built greedily from `from`,
+  // always stepping to the smallest neighbor one step closer to the target.
+  std::unordered_map<VertexId, std::size_t, VertexIdHash> dist_to;
+  std::deque<VertexId> queue{to};
+  dist_to[to] = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : adj.at(v)) {
+      if (dist_to.count(u) == 0) {
+        dist_to[u] = dist_to[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  if (dist_to.count(from) == 0) return std::nullopt;
+
+  std::vector<VertexId> path{from};
+  VertexId cur = from;
+  while (cur != to) {
+    const std::size_t d = dist_to.at(cur);
+    VertexId best{std::numeric_limits<std::uint32_t>::max()};
+    bool found = false;
+    for (VertexId u : adj.at(cur)) {  // sorted, so first hit is lex-min
+      auto it = dist_to.find(u);
+      if (it != dist_to.end() && it->second + 1 == d) {
+        best = u;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // unreachable: dist structure is consistent
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+}  // namespace trichroma

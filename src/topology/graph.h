@@ -1,0 +1,56 @@
+#pragma once
+// Graph-level topology of 1-dimensional complexes.
+//
+// Links of vertices in 2-dimensional complexes are graphs; the paper's core
+// notion (local articulation points) and its Figure-7 algorithm (shortest
+// lexicographically-smallest link paths) both reduce to elementary graph
+// computations, implemented here over SimplicialComplex's 0/1-skeleton.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/complex.h"
+
+namespace trichroma {
+
+/// Connected components of the 1-skeleton of `k` (isolated vertices form
+/// their own components). Each component is a sorted vector of vertex ids;
+/// components are sorted by their smallest vertex.
+std::vector<std::vector<VertexId>> connected_components(const SimplicialComplex& k);
+
+/// Number of connected components of `k`'s 1-skeleton.
+std::size_t component_count(const SimplicialComplex& k);
+
+/// True iff `k` is non-empty and has exactly one connected component.
+bool is_connected(const SimplicialComplex& k);
+
+/// True iff `a` and `b` are in the same component of `k` (both must be
+/// vertices of `k`).
+bool same_component(const SimplicialComplex& k, VertexId a, VertexId b);
+
+/// The lexicographically-smallest shortest path from `from` to `to` along
+/// edges of `k` (inclusive of endpoints; a solo vertex yields {from}).
+/// Lexicographic order compares the sequences of raw vertex ids, matching
+/// the paper's "assign a unique number to each vertex" convention.
+/// Returns nullopt if no path exists.
+std::optional<std::vector<VertexId>> lex_min_shortest_path(const SimplicialComplex& k,
+                                                           VertexId from, VertexId to);
+
+/// Direction-independent canonical shortest path: both endpoints compute the
+/// same path regardless of argument order (the result is reversed as needed
+/// so it runs from `from` to `to`). This is the path Π of the paper's
+/// Figure-7 algorithm, where the two negotiating processes must agree on
+/// one path while naming its endpoints in opposite orders.
+std::optional<std::vector<VertexId>> lex_min_shortest_path_symmetric(
+    const SimplicialComplex& k, VertexId from, VertexId to);
+
+/// Distance (edge count) between two vertices in `k`, or nullopt.
+std::optional<std::size_t> path_distance(const SimplicialComplex& k, VertexId from,
+                                         VertexId to);
+
+/// Adjacency list of `k`'s 1-skeleton with sorted neighbor lists.
+std::unordered_map<VertexId, std::vector<VertexId>, VertexIdHash> adjacency(
+    const SimplicialComplex& k);
+
+}  // namespace trichroma

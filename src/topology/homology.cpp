@@ -1,0 +1,472 @@
+#include "topology/homology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "topology/graph.h"
+
+namespace trichroma {
+
+namespace {
+
+/// Dense GF(2) matrix with 64-bit packed rows; supports rank computation and
+/// membership-in-column-span queries via incremental row reduction.
+class Gf2Matrix {
+ public:
+  Gf2Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), words_((cols + 63) / 64),
+        data_(rows * words_, 0) {}
+
+  void set(std::size_t r, std::size_t c) {
+    data_[r * words_ + c / 64] |= (std::uint64_t{1} << (c % 64));
+  }
+
+  /// Rank via Gaussian elimination (destructive on a copy).
+  std::size_t rank() const {
+    std::vector<std::vector<std::uint64_t>> rows;
+    rows.reserve(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      rows.emplace_back(data_.begin() + static_cast<long>(r * words_),
+                        data_.begin() + static_cast<long>((r + 1) * words_));
+    }
+    std::size_t rank = 0;
+    for (std::size_t c = 0; c < cols_ && rank < rows.size(); ++c) {
+      const std::size_t w = c / 64;
+      const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+      std::size_t pivot = rank;
+      while (pivot < rows.size() && (rows[pivot][w] & bit) == 0) ++pivot;
+      if (pivot == rows.size()) continue;
+      std::swap(rows[rank], rows[pivot]);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != rank && (rows[r][w] & bit)) {
+          for (std::size_t k = 0; k < words_; ++k) rows[r][k] ^= rows[rank][k];
+        }
+      }
+      ++rank;
+    }
+    return rank;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::vector<std::uint64_t> row(std::size_t r) const {
+    return {data_.begin() + static_cast<long>(r * words_),
+            data_.begin() + static_cast<long>((r + 1) * words_)};
+  }
+
+ private:
+  std::size_t rows_, cols_, words_;
+  std::vector<std::uint64_t> data_;
+};
+
+/// Row-echelon basis over GF(2); supports adding vectors and testing
+/// membership in the span.
+class Gf2Span {
+ public:
+  explicit Gf2Span(std::size_t dim) : words_((dim + 63) / 64) {}
+
+  /// Reduces `v` against the basis; if nonzero remains, adds it and returns
+  /// true (dimension grew).
+  bool add(std::vector<std::uint64_t> v) {
+    reduce(v);
+    if (is_zero(v)) return false;
+    basis_.push_back(std::move(v));
+    normalize_last();
+    return true;
+  }
+
+  bool contains(std::vector<std::uint64_t> v) const {
+    reduce(v);
+    return is_zero(v);
+  }
+
+ private:
+  static bool is_zero(const std::vector<std::uint64_t>& v) {
+    for (std::uint64_t w : v)
+      if (w != 0) return false;
+    return true;
+  }
+
+  static int leading_bit(const std::vector<std::uint64_t>& v) {
+    for (std::size_t w = 0; w < v.size(); ++w) {
+      if (v[w] != 0) {
+        return static_cast<int>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(v[w])));
+      }
+    }
+    return -1;
+  }
+
+  void reduce(std::vector<std::uint64_t>& v) const {
+    for (const auto& b : basis_) {
+      const int lb = leading_bit(b);
+      if (lb >= 0 && (v[static_cast<std::size_t>(lb) / 64] &
+                      (std::uint64_t{1} << (lb % 64)))) {
+        for (std::size_t k = 0; k < v.size(); ++k) v[k] ^= b[k];
+      }
+    }
+  }
+
+  void normalize_last() {
+    // Keep basis rows mutually reduced for a canonical echelon form.
+    auto& last = basis_.back();
+    for (std::size_t i = 0; i + 1 < basis_.size(); ++i) {
+      const int lb = leading_bit(last);
+      if (lb >= 0 && (basis_[i][static_cast<std::size_t>(lb) / 64] &
+                      (std::uint64_t{1} << (lb % 64)))) {
+        for (std::size_t k = 0; k < last.size(); ++k) basis_[i][k] ^= last[k];
+      }
+    }
+  }
+
+  std::size_t words_;
+  std::vector<std::vector<std::uint64_t>> basis_;
+};
+
+/// Index mapping for the d-simplices of a complex.
+struct SimplexIndex {
+  std::vector<Simplex> list;
+  std::unordered_map<Simplex, std::size_t, SimplexHash> at;
+
+  explicit SimplexIndex(const SimplicialComplex& k, int d) : list(k.simplices(d)) {
+    for (std::size_t i = 0; i < list.size(); ++i) at.emplace(list[i], i);
+  }
+};
+
+Gf2Matrix boundary_matrix(const SimplexIndex& lower, const SimplexIndex& upper) {
+  Gf2Matrix m(lower.list.size(), upper.list.size());
+  for (std::size_t c = 0; c < upper.list.size(); ++c) {
+    for (const Simplex& face : upper.list[c].boundary_faces()) {
+      m.set(lower.at.at(face), c);
+    }
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> chain_to_bits(const Chain& c, const SimplexIndex& idx) {
+  std::vector<std::uint64_t> bits((idx.list.size() + 63) / 64, 0);
+  for (const Simplex& s : c) {
+    const std::size_t i = idx.at.at(s);
+    bits[i / 64] ^= (std::uint64_t{1} << (i % 64));
+  }
+  return bits;
+}
+
+}  // namespace
+
+Chain chain_add(const Chain& a, const Chain& b) {
+  // Multiset symmetric difference with GF(2) cancellation.
+  std::unordered_map<Simplex, int, SimplexHash> count;
+  for (const Simplex& s : a) count[s] ^= 1;
+  for (const Simplex& s : b) count[s] ^= 1;
+  Chain out;
+  for (const auto& [s, c] : count) {
+    if (c) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Chain boundary(const Chain& c) {
+  Chain acc;
+  for (const Simplex& s : c) {
+    Chain faces;
+    for (const Simplex& f : s.boundary_faces()) faces.push_back(f);
+    acc = chain_add(acc, faces);
+  }
+  return acc;
+}
+
+bool is_one_cycle(const Chain& c) {
+  for (const Simplex& s : c) {
+    if (s.dim() != 1) return false;
+  }
+  return boundary(c).empty();
+}
+
+Chain loop_to_chain(const std::vector<VertexId>& closed_path) {
+  Chain edges;
+  if (closed_path.size() < 2) return edges;
+  for (std::size_t i = 0; i + 1 < closed_path.size(); ++i) {
+    if (closed_path[i] != closed_path[i + 1]) {
+      edges.push_back(Simplex{closed_path[i], closed_path[i + 1]});
+    }
+  }
+  if (closed_path.back() != closed_path.front()) {
+    edges.push_back(Simplex{closed_path.back(), closed_path.front()});
+  }
+  // Cancel duplicate edges over GF(2).
+  return chain_add(edges, Chain{});
+}
+
+BettiNumbers betti_numbers(const SimplicialComplex& k) {
+  BettiNumbers out;
+  if (k.empty()) return out;
+  const SimplexIndex v0(k, 0), v1(k, 1), v2(k, 2);
+  const std::size_t rank_d1 =
+      v1.list.empty() ? 0 : boundary_matrix(v0, v1).rank();
+  const std::size_t rank_d2 =
+      v2.list.empty() ? 0 : boundary_matrix(v1, v2).rank();
+  out.b0 = static_cast<long long>(v0.list.size() - rank_d1);
+  out.b1 = static_cast<long long>(v1.list.size() - rank_d1 - rank_d2);
+  out.b2 = static_cast<long long>(v2.list.size() - rank_d2);
+  return out;
+}
+
+bool bounds_in(const SimplicialComplex& k, const Chain& cycle) {
+  return bounds_modulo(k, cycle, {});
+}
+
+bool bounds_modulo(const SimplicialComplex& k, const Chain& cycle,
+                   const std::vector<Chain>& generators) {
+  assert(is_one_cycle(cycle));
+  const SimplexIndex v1(k, 1), v2(k, 2);
+  for (const Simplex& e : cycle) {
+    if (v1.at.count(e) == 0) return false;  // cycle leaves the complex
+  }
+  Gf2Span span(v1.list.size());
+  // Span of ∂2 columns (the boundary space B1)...
+  for (const Simplex& t : v2.list) {
+    Chain b;
+    for (const Simplex& f : t.boundary_faces()) b.push_back(f);
+    span.add(chain_to_bits(b, v1));
+  }
+  // ... plus the allowed adjustment generators.
+  for (const Chain& g : generators) {
+    for (const Simplex& e : g) {
+      if (v1.at.count(e) == 0) return false;
+    }
+    span.add(chain_to_bits(g, v1));
+  }
+  return span.contains(chain_to_bits(cycle, v1));
+}
+
+std::vector<Chain> cycle_basis(const SimplicialComplex& k) {
+  // Spanning forest via BFS; each non-tree edge closes one fundamental cycle.
+  const auto adj = adjacency(k);
+  std::unordered_map<VertexId, VertexId, VertexIdHash> parent;
+  std::unordered_map<VertexId, bool, VertexIdHash> seen;
+  std::vector<Chain> out;
+
+  auto tree_path_to_root = [&](VertexId v) {
+    std::vector<VertexId> path{v};
+    while (parent.count(v) > 0 && parent.at(v) != v) {
+      v = parent.at(v);
+      path.push_back(v);
+    }
+    return path;
+  };
+
+  for (VertexId root : k.vertex_ids()) {
+    if (seen[root]) continue;
+    parent[root] = root;
+    seen[root] = true;
+    std::vector<VertexId> queue{root};
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      VertexId v = queue[head++];
+      for (VertexId u : adj.at(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          parent[u] = v;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  for (const Simplex& e : k.simplices(1)) {
+    const VertexId a = e[0], b = e[1];
+    if (parent.count(a) > 0 && (parent.at(a) == b || parent.at(b) == a)) continue;
+    // Fundamental cycle: tree path a→root + edge {a,b} + tree path b→root;
+    // shared prefix cancels over GF(2).
+    Chain c{e};
+    auto add_path = [&](const std::vector<VertexId>& p) {
+      Chain edges;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        edges.push_back(Simplex{p[i], p[i + 1]});
+      c = chain_add(c, edges);
+    };
+    add_path(tree_path_to_root(a));
+    add_path(tree_path_to_root(b));
+    if (is_one_cycle(c)) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+
+// ---------------------------------------------------------------------------
+// Oriented (mod-p) homology.
+// ---------------------------------------------------------------------------
+
+void oriented_add_edge(OrientedChain& chain, VertexId from, VertexId to,
+                       long long delta) {
+  if (from == to) return;
+  const bool forward = raw(from) < raw(to);
+  const Simplex edge{from, to};
+  const long long signed_delta = forward ? delta : -delta;
+  auto it = chain.find(edge);
+  if (it == chain.end()) {
+    if (signed_delta != 0) chain.emplace(edge, signed_delta);
+    return;
+  }
+  it->second += signed_delta;
+  if (it->second == 0) chain.erase(it);
+}
+
+OrientedChain oriented_path_chain(const std::vector<VertexId>& path) {
+  OrientedChain chain;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    oriented_add_edge(chain, path[i], path[i + 1]);
+  }
+  return chain;
+}
+
+OrientedChain oriented_add(const OrientedChain& a, const OrientedChain& b) {
+  OrientedChain out = a;
+  for (const auto& [edge, coeff] : b) {
+    auto it = out.find(edge);
+    if (it == out.end()) {
+      out.emplace(edge, coeff);
+    } else {
+      it->second += coeff;
+      if (it->second == 0) out.erase(it);
+    }
+  }
+  return out;
+}
+
+bool is_oriented_cycle(const OrientedChain& c) {
+  std::unordered_map<VertexId, long long, VertexIdHash> boundary;
+  for (const auto& [edge, coeff] : c) {
+    // ∂(u→v) = v - u with u < v by the orientation convention.
+    boundary[edge[1]] += coeff;
+    boundary[edge[0]] -= coeff;
+  }
+  for (const auto& [v, b] : boundary) {
+    (void)v;
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+long long mod_p(long long x, long long p) {
+  const long long r = x % p;
+  return r < 0 ? r + p : r;
+}
+
+long long mod_inverse(long long a, long long p) {
+  // Fermat: p is prime and a != 0 mod p.
+  long long result = 1, base = mod_p(a, p), exp = p - 2;
+  while (exp > 0) {
+    if (exp & 1) result = (result * base) % p;
+    base = (base * base) % p;
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool bounds_modulo_p(const SimplicialComplex& k, const OrientedChain& cycle,
+                     const std::vector<OrientedChain>& generators, long long p) {
+  // Index the edges of k.
+  const std::vector<Simplex> edges = k.simplices(1);
+  std::unordered_map<Simplex, std::size_t, SimplexHash> edge_index;
+  for (std::size_t i = 0; i < edges.size(); ++i) edge_index.emplace(edges[i], i);
+  const std::size_t n = edges.size();
+
+  auto to_vector = [&](const OrientedChain& c,
+                       std::vector<long long>& out) -> bool {
+    out.assign(n, 0);
+    for (const auto& [edge, coeff] : c) {
+      auto it = edge_index.find(edge);
+      if (it == edge_index.end()) return false;  // chain leaves the complex
+      out[it->second] = mod_p(coeff, p);
+    }
+    return true;
+  };
+
+  // Span basis (row echelon over GF(p)) of ∂2-columns plus generators.
+  std::vector<std::vector<long long>> basis;
+  std::vector<std::size_t> pivot_of;  // pivot column per basis row
+  auto reduce = [&](std::vector<long long>& v) {
+    for (std::size_t r = 0; r < basis.size(); ++r) {
+      const std::size_t piv = pivot_of[r];
+      if (v[piv] != 0) {
+        const long long factor = v[piv];
+        for (std::size_t j = 0; j < n; ++j) {
+          v[j] = mod_p(v[j] - factor * basis[r][j], p);
+        }
+      }
+    }
+  };
+  auto add_to_span = [&](std::vector<long long> v) {
+    reduce(v);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (v[j] != 0) {
+        const long long inv = mod_inverse(v[j], p);
+        for (std::size_t i = 0; i < n; ++i) v[i] = (v[i] * inv) % p;
+        basis.push_back(std::move(v));
+        pivot_of.push_back(j);
+        return;
+      }
+    }
+  };
+
+  for (const Simplex& t : k.simplices(2)) {
+    // ∂{a,b,c} = (b,c) - (a,c) + (a,b) with a < b < c.
+    OrientedChain b;
+    oriented_add_edge(b, t[1], t[2], 1);
+    oriented_add_edge(b, t[0], t[2], -1);
+    oriented_add_edge(b, t[0], t[1], 1);
+    std::vector<long long> v;
+    if (!to_vector(b, v)) return false;
+    add_to_span(std::move(v));
+  }
+  for (const OrientedChain& g : generators) {
+    std::vector<long long> v;
+    if (!to_vector(g, v)) return false;
+    add_to_span(std::move(v));
+  }
+
+  std::vector<long long> target;
+  if (!to_vector(cycle, target)) return false;
+  reduce(target);
+  for (long long x : target) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+std::vector<OrientedChain> oriented_cycle_basis(const SimplicialComplex& k) {
+  std::vector<OrientedChain> out;
+  for (const Chain& c : cycle_basis(k)) {
+    // A fundamental cycle is a simple closed walk; orient it by walking it.
+    // Build adjacency within the cycle's edge set.
+    std::unordered_map<VertexId, std::vector<VertexId>, VertexIdHash> adj;
+    for (const Simplex& e : c) {
+      adj[e[0]].push_back(e[1]);
+      adj[e[1]].push_back(e[0]);
+    }
+    OrientedChain oriented;
+    if (c.empty()) continue;
+    const VertexId start = c.front()[0];
+    VertexId prev = start, cur = c.front()[1];
+    oriented_add_edge(oriented, prev, cur);
+    while (cur != start) {
+      const auto& nbrs = adj.at(cur);
+      const VertexId next = nbrs[0] == prev ? nbrs[1] : nbrs[0];
+      oriented_add_edge(oriented, cur, next);
+      prev = cur;
+      cur = next;
+    }
+    out.push_back(std::move(oriented));
+  }
+  return out;
+}
+
+}  // namespace trichroma

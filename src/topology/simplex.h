@@ -1,0 +1,156 @@
+#pragma once
+// Simplex: an immutable, canonically sorted, non-empty set of vertices.
+//
+// Simplices are small (dimension <= 2 throughout the paper, i.e. at most
+// three vertices), so they are stored inline in a sorted std::vector and
+// compared element-wise. The empty set is representable (Simplex{}) and is
+// used as "no simplex" in a few algorithms, but never stored in a complex.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "topology/vertex.h"
+
+namespace trichroma {
+
+class Simplex {
+ public:
+  Simplex() = default;
+
+  /// Builds a simplex from vertices; sorts and deduplicates.
+  explicit Simplex(std::vector<VertexId> vertices) : verts_(std::move(vertices)) {
+    normalize();
+  }
+  Simplex(std::initializer_list<VertexId> vertices)
+      : verts_(vertices.begin(), vertices.end()) {
+    normalize();
+  }
+
+  static Simplex single(VertexId v) { return Simplex{{v}}; }
+
+  bool empty() const { return verts_.empty(); }
+  std::size_t size() const { return verts_.size(); }
+  /// Dimension = |σ| - 1; the empty simplex reports -1.
+  int dim() const { return static_cast<int>(verts_.size()) - 1; }
+
+  const std::vector<VertexId>& vertices() const { return verts_; }
+  auto begin() const { return verts_.begin(); }
+  auto end() const { return verts_.end(); }
+  VertexId operator[](std::size_t i) const { return verts_[i]; }
+
+  bool contains(VertexId v) const {
+    return std::binary_search(verts_.begin(), verts_.end(), v,
+                              [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+  }
+
+  /// True iff `other` is a (not necessarily proper) face of this simplex.
+  bool contains_all(const Simplex& other) const {
+    return std::includes(verts_.begin(), verts_.end(), other.verts_.begin(),
+                         other.verts_.end(),
+                         [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+  }
+
+  /// This simplex with `v` added (no-op if already present).
+  Simplex with(VertexId v) const {
+    std::vector<VertexId> out = verts_;
+    out.push_back(v);
+    return Simplex(std::move(out));
+  }
+
+  /// This simplex with `v` removed (no-op if absent).
+  Simplex without(VertexId v) const {
+    std::vector<VertexId> out;
+    out.reserve(verts_.size());
+    for (VertexId u : verts_)
+      if (u != v) out.push_back(u);
+    return Simplex(std::move(out));
+  }
+
+  Simplex unite(const Simplex& other) const {
+    std::vector<VertexId> out = verts_;
+    out.insert(out.end(), other.verts_.begin(), other.verts_.end());
+    return Simplex(std::move(out));
+  }
+
+  Simplex intersect(const Simplex& other) const {
+    std::vector<VertexId> out;
+    std::set_intersection(verts_.begin(), verts_.end(), other.verts_.begin(),
+                          other.verts_.end(), std::back_inserter(out),
+                          [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+    return Simplex(std::move(out));
+  }
+
+  /// All non-empty faces, including the simplex itself.
+  std::vector<Simplex> faces() const {
+    std::vector<Simplex> out;
+    const std::size_t n = verts_.size();
+    assert(n <= 16);
+    for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+      std::vector<VertexId> face;
+      for (std::size_t i = 0; i < n; ++i)
+        if (mask & (1u << i)) face.push_back(verts_[i]);
+      out.emplace_back(std::move(face));
+    }
+    return out;
+  }
+
+  /// The codimension-1 faces (boundary facets).
+  std::vector<Simplex> boundary_faces() const {
+    std::vector<Simplex> out;
+    if (verts_.size() < 2) return out;
+    for (std::size_t i = 0; i < verts_.size(); ++i) {
+      std::vector<VertexId> face;
+      face.reserve(verts_.size() - 1);
+      for (std::size_t j = 0; j < verts_.size(); ++j)
+        if (j != i) face.push_back(verts_[j]);
+      out.emplace_back(std::move(face));
+    }
+    return out;
+  }
+
+  bool operator==(const Simplex& other) const = default;
+
+  /// Total order (lexicographic on sorted vertex ids), for deterministic
+  /// iteration and for the paper's lexicographically-smallest path rule.
+  bool operator<(const Simplex& other) const {
+    return std::lexicographical_compare(
+        verts_.begin(), verts_.end(), other.verts_.begin(), other.verts_.end(),
+        [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+  }
+
+  std::string to_string(const VertexPool& pool) const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < verts_.size(); ++i) {
+      if (i > 0) out += " ";
+      out += pool.name(verts_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  void normalize() {
+    std::sort(verts_.begin(), verts_.end(),
+              [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+    verts_.erase(std::unique(verts_.begin(), verts_.end()), verts_.end());
+  }
+
+  std::vector<VertexId> verts_;
+};
+
+struct SimplexHash {
+  std::size_t operator()(const Simplex& s) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (VertexId v : s.vertices()) {
+      h ^= raw(v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace trichroma

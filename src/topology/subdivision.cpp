@@ -1,0 +1,110 @@
+#include "topology/subdivision.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trichroma {
+
+Simplex SubdividedComplex::carrier_of(const Simplex& s) const {
+  Simplex out;
+  for (VertexId v : s) out = out.unite(carrier.at(v));
+  return out;
+}
+
+SubdividedComplex identity_subdivision(const SimplicialComplex& base) {
+  SubdividedComplex out;
+  out.complex = base;
+  for (VertexId v : base.vertex_ids()) {
+    out.carrier.emplace(v, Simplex::single(v));
+  }
+  return out;
+}
+
+namespace {
+
+void ordered_partitions_rec(const std::vector<VertexId>& items,
+                            std::vector<std::vector<VertexId>>& prefix,
+                            std::vector<std::vector<std::vector<VertexId>>>& out) {
+  if (items.empty()) {
+    out.push_back(prefix);
+    return;
+  }
+  const std::size_t n = items.size();
+  // Enumerate non-empty first blocks as bitmasks, in increasing mask order
+  // for determinism.
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> block, rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        block.push_back(items[i]);
+      } else {
+        rest.push_back(items[i]);
+      }
+    }
+    prefix.push_back(std::move(block));
+    ordered_partitions_rec(rest, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
+    const std::vector<VertexId>& items) {
+  std::vector<std::vector<std::vector<VertexId>>> out;
+  std::vector<std::vector<VertexId>> prefix;
+  assert(items.size() <= 8);
+  ordered_partitions_rec(items, prefix, out);
+  return out;
+}
+
+SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev) {
+  SubdividedComplex out;
+  ValuePool& values = pool.values();
+  const ValueId view_tag = values.of_string("view");
+
+  // Interns the subdivision vertex for (process-vertex u, view V).
+  auto subdivision_vertex = [&](VertexId u, const Simplex& view) {
+    std::vector<ValueId> members;
+    members.reserve(view.size());
+    for (VertexId w : view) {
+      members.push_back(values.of_int(static_cast<std::int64_t>(raw(w))));
+    }
+    const ValueId view_value =
+        values.of_tuple({view_tag, values.of_set(std::move(members))});
+    const VertexId nv = pool.vertex(pool.color(u), view_value);
+    if (out.carrier.count(nv) == 0) {
+      out.carrier.emplace(nv, prev.carrier_of(view));
+    }
+    return nv;
+  };
+
+  // Subdivide every simplex; the union glues correctly along shared faces
+  // because subdivision vertices are interned by (color, view).
+  prev.complex.for_each([&](const Simplex& sigma) {
+    for (const auto& partition : ordered_partitions(sigma.vertices())) {
+      Simplex view;  // running union B1 ∪ ... ∪ Bj
+      std::vector<VertexId> facet_vertices;
+      facet_vertices.reserve(sigma.size());
+      for (const auto& block : partition) {
+        for (VertexId u : block) view = view.with(u);
+        for (VertexId u : block) {
+          facet_vertices.push_back(subdivision_vertex(u, view));
+        }
+      }
+      out.complex.add(Simplex(std::move(facet_vertices)));
+    }
+  });
+  return out;
+}
+
+SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComplex& base,
+                                        int rounds) {
+  SubdividedComplex cur = identity_subdivision(base);
+  for (int r = 0; r < rounds; ++r) {
+    cur = subdivide_once(pool, cur);
+  }
+  return cur;
+}
+
+}  // namespace trichroma

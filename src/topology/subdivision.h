@@ -1,0 +1,53 @@
+#pragma once
+// The standard chromatic subdivision Ch(K) and its iterates Ch^r(K).
+//
+// Operationally, Ch(σ) is the complex of one-round immediate-snapshot
+// executions by the processes of σ: its facets correspond to the *ordered
+// set partitions* (B1, ..., Bk) of σ's vertices — processes in block Bj go
+// "together", and each obtains the view B1 ∪ ... ∪ Bj. A subdivision vertex
+// is therefore a pair (color, view), where the view is a face of σ
+// containing the process's own vertex. Herlihy–Shavit show Ch(σ) is a
+// chromatic subdivision of σ; this file builds it combinatorially, and the
+// runtime simulator reproduces it operationally (cross-checked in tests).
+//
+// Every subdivision vertex tracks its *carrier*: the minimal simplex of the
+// base complex whose geometric realization contains it. The carrier is what
+// connects subdivisions to carrier maps: a simplicial map f from Ch^r(I) is
+// "carried by Δ" iff f(ξ) ∈ Δ(carrier(ξ)) for every simplex ξ.
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/complex.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+
+/// A complex together with per-vertex carriers into some fixed base complex.
+struct SubdividedComplex {
+  SimplicialComplex complex;
+  /// carrier[v] = minimal base simplex containing v.
+  std::unordered_map<VertexId, Simplex, VertexIdHash> carrier;
+
+  /// Carrier of a simplex: the union of its vertices' carriers.
+  Simplex carrier_of(const Simplex& s) const;
+};
+
+/// The identity subdivision (r = 0): each vertex is its own carrier.
+SubdividedComplex identity_subdivision(const SimplicialComplex& base);
+
+/// One round of standard chromatic subdivision applied to `prev`, with
+/// carriers composed so they still point into the original base complex.
+/// Every simplex of `prev.complex` must be chromatic.
+SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev);
+
+/// Ch^r(base): `rounds` iterations of the standard chromatic subdivision.
+SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComplex& base,
+                                        int rounds);
+
+/// All ordered set partitions of `items` (each block non-empty, blocks
+/// ordered). For |items| = 3 there are 13. Deterministic order.
+std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
+    const std::vector<VertexId>& items);
+
+}  // namespace trichroma

@@ -1,0 +1,124 @@
+#include "topology/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace trichroma {
+
+ValueId ValuePool::of_int(std::int64_t v) {
+  Node n;
+  n.kind = Kind::Int;
+  n.num = v;
+  return intern(std::move(n));
+}
+
+ValueId ValuePool::of_string(std::string_view s) {
+  Node n;
+  n.kind = Kind::Str;
+  n.str.assign(s);
+  return intern(std::move(n));
+}
+
+ValueId ValuePool::of_tuple(std::span<const ValueId> elems) {
+  Node n;
+  n.kind = Kind::Tuple;
+  n.kids.assign(elems.begin(), elems.end());
+  return intern(std::move(n));
+}
+
+ValueId ValuePool::of_tuple(std::initializer_list<ValueId> elems) {
+  return of_tuple(std::span<const ValueId>(elems.begin(), elems.size()));
+}
+
+ValueId ValuePool::of_set(std::vector<ValueId> elems) {
+  std::sort(elems.begin(), elems.end(),
+            [](ValueId a, ValueId b) { return raw(a) < raw(b); });
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  Node n;
+  n.kind = Kind::Set;
+  n.kids = std::move(elems);
+  return intern(std::move(n));
+}
+
+ValuePool::Kind ValuePool::kind(ValueId id) const { return node(id).kind; }
+
+std::int64_t ValuePool::as_int(ValueId id) const {
+  const Node& n = node(id);
+  if (n.kind != Kind::Int) throw std::logic_error("value is not an Int");
+  return n.num;
+}
+
+const std::string& ValuePool::as_string(ValueId id) const {
+  const Node& n = node(id);
+  if (n.kind != Kind::Str) throw std::logic_error("value is not a Str");
+  return n.str;
+}
+
+std::span<const ValueId> ValuePool::elements(ValueId id) const {
+  const Node& n = node(id);
+  if (n.kind != Kind::Tuple && n.kind != Kind::Set)
+    throw std::logic_error("value has no elements");
+  return n.kids;
+}
+
+std::string ValuePool::to_string(ValueId id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case Kind::Int:
+      return std::to_string(n.num);
+    case Kind::Str:
+      return n.str;
+    case Kind::Tuple:
+    case Kind::Set: {
+      std::string out = n.kind == Kind::Tuple ? "(" : "{";
+      for (std::size_t i = 0; i < n.kids.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += to_string(n.kids[i]);
+      }
+      out += n.kind == Kind::Tuple ? ")" : "}";
+      return out;
+    }
+  }
+  return "<?>";
+}
+
+ValueId ValuePool::intern(Node n) {
+  std::string key = key_of(n);
+  auto it = index_.find(key);
+  if (it != index_.end()) return ValueId{it->second};
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  index_.emplace(std::move(key), id);
+  return ValueId{id};
+}
+
+std::string ValuePool::key_of(const Node& n) {
+  // A canonical byte serialization of the node; children are already
+  // interned, so their 4-byte ids identify them uniquely.
+  std::string key;
+  key.push_back(static_cast<char>(n.kind));
+  switch (n.kind) {
+    case Kind::Int:
+      key.append(reinterpret_cast<const char*>(&n.num), sizeof(n.num));
+      break;
+    case Kind::Str:
+      key.append(n.str);
+      break;
+    case Kind::Tuple:
+    case Kind::Set:
+      for (ValueId kid : n.kids) {
+        const std::uint32_t r = raw(kid);
+        key.append(reinterpret_cast<const char*>(&r), sizeof(r));
+      }
+      break;
+  }
+  return key;
+}
+
+const ValuePool::Node& ValuePool::node(ValueId id) const {
+  assert(raw(id) < nodes_.size());
+  return nodes_[raw(id)];
+}
+
+}  // namespace trichroma

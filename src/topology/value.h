@@ -1,0 +1,82 @@
+#pragma once
+// Hash-consed structured values.
+//
+// Vertices of chromatic complexes carry a *value* besides their color: an
+// input value, an output value, a protocol view (a set of other values), a
+// canonical-form pair (input, output), or a split copy ("split", y, i).
+// All of these are represented uniformly as immutable structured values
+// interned in a ValuePool, so that equal values always receive the same
+// ValueId and complexes built by different pipeline stages (canonicalization,
+// splitting, subdivision) can share vertices without translation tables.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trichroma {
+
+/// Opaque handle to an interned value. Only meaningful together with the
+/// ValuePool that produced it. Equality of handles == equality of values.
+enum class ValueId : std::uint32_t {};
+
+constexpr std::uint32_t raw(ValueId id) { return static_cast<std::uint32_t>(id); }
+
+/// Interning pool for structured values.
+///
+/// Supported shapes:
+///  - Int:    a 64-bit integer
+///  - Str:    a string label
+///  - Tuple:  an ordered sequence of values
+///  - Set:    an unordered collection of values (canonically sorted, deduped)
+///
+/// The pool owns all value storage; ValueIds are stable for its lifetime.
+class ValuePool {
+ public:
+  enum class Kind : std::uint8_t { Int, Str, Tuple, Set };
+
+  ValuePool() = default;
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Interns an integer value.
+  ValueId of_int(std::int64_t v);
+  /// Interns a string value.
+  ValueId of_string(std::string_view s);
+  /// Interns an ordered tuple of previously interned values.
+  ValueId of_tuple(std::span<const ValueId> elems);
+  ValueId of_tuple(std::initializer_list<ValueId> elems);
+  /// Interns a set: elements are sorted and deduplicated canonically.
+  ValueId of_set(std::vector<ValueId> elems);
+
+  Kind kind(ValueId id) const;
+  std::int64_t as_int(ValueId id) const;
+  const std::string& as_string(ValueId id) const;
+  /// Elements of a Tuple (in order) or Set (canonically sorted).
+  std::span<const ValueId> elements(ValueId id) const;
+
+  /// Human-readable rendering, e.g. `("split", 1, 2)` or `{0, 1}`.
+  std::string to_string(ValueId id) const;
+
+  /// Number of distinct values interned so far.
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Kind kind;
+    std::int64_t num = 0;          // Int payload
+    std::string str;               // Str payload
+    std::vector<ValueId> kids;     // Tuple/Set payload
+  };
+
+  ValueId intern(Node node);
+  static std::string key_of(const Node& node);
+  const Node& node(ValueId id) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace trichroma

@@ -1,0 +1,74 @@
+#pragma once
+// Vertex interning for chromatic simplicial complexes.
+//
+// A vertex of a chromatic complex is a pair (color, value): the color is a
+// process id (0-based), the value an interned structured value. Vertices are
+// hash-consed in a VertexPool that also owns the ValuePool, so every complex
+// participating in one task pipeline shares a single vertex universe.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/value.h"
+
+namespace trichroma {
+
+/// Process id / color of a vertex. Colorless constructions use kNoColor.
+using Color = std::int16_t;
+constexpr Color kNoColor = -1;
+
+/// Opaque handle to an interned (color, value) vertex. Ids are dense,
+/// starting at 0, and stable for the pool's lifetime; their numeric order
+/// provides the "unique number per vertex" that the paper's Figure-7
+/// algorithm uses for lexicographic path selection.
+enum class VertexId : std::uint32_t {};
+
+constexpr std::uint32_t raw(VertexId id) { return static_cast<std::uint32_t>(id); }
+
+struct VertexIdHash {
+  std::size_t operator()(VertexId id) const noexcept {
+    return std::hash<std::uint32_t>{}(raw(id));
+  }
+};
+
+/// Interning pool for chromatic vertices. Owns the underlying ValuePool.
+class VertexPool {
+ public:
+  VertexPool() : values_(std::make_unique<ValuePool>()) {}
+  VertexPool(const VertexPool&) = delete;
+  VertexPool& operator=(const VertexPool&) = delete;
+
+  /// Access to the value pool, for building structured vertex values.
+  ValuePool& values() { return *values_; }
+  const ValuePool& values() const { return *values_; }
+
+  /// Interns the vertex (color, value).
+  VertexId vertex(Color color, ValueId value);
+
+  /// Convenience: vertex whose value is an integer / string.
+  VertexId vertex(Color color, std::int64_t value);
+  VertexId vertex(Color color, std::string_view value);
+
+  Color color(VertexId v) const;
+  ValueId value(VertexId v) const;
+
+  /// Human-readable rendering, e.g. `P1:0` or `P0:("split", 1, 2)`.
+  std::string name(VertexId v) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Color color;
+    ValueId value;
+  };
+
+  std::unique_ptr<ValuePool> values_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace trichroma

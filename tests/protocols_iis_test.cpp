@@ -1,0 +1,162 @@
+// Tests for the IIS protocol: the operational side of the standard
+// chromatic subdivision. The key cross-validation: the set of view profiles
+// over all schedules equals the facet set of Ch^r(I) built combinatorially.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocols/iis.h"
+#include "solver/map_search.h"
+#include "tasks/zoo.h"
+#include "topology/subdivision.h"
+
+namespace trichroma {
+namespace {
+
+using protocols::IisOutcome;
+using protocols::run_iis;
+
+TEST(Iis, ZeroRoundsReturnsInput) {
+  VertexPool pool;
+  const VertexId x0 = pool.vertex(0, 100), x1 = pool.vertex(1, 101);
+  const auto outcomes =
+      run_iis(pool, {{0, x0}, {1, x1}}, 0, nullptr, {});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].view, x0);
+  EXPECT_EQ(outcomes[1].view, x1);
+}
+
+TEST(Iis, OneRoundViewsFormChSimplices) {
+  // Exhaustive: over all 13 schedules, the final views of the three
+  // processes always form a facet of Ch¹(σ), and all 13 facets appear.
+  VertexPool pool;
+  SimplicialComplex base;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  base.add(Simplex{x0, x1, x2});
+  const SubdividedComplex ch = chromatic_subdivision(pool, base, 1);
+
+  std::set<Simplex> seen;
+  for (const auto& schedule : runtime::all_iis_schedules({0, 1, 2}, 1)) {
+    const auto outcomes =
+        run_iis(pool, {{0, x0}, {1, x1}, {2, x2}}, 1, nullptr, schedule);
+    std::vector<VertexId> views;
+    for (const auto& o : outcomes) {
+      ASSERT_TRUE(o.view.has_value());
+      views.push_back(*o.view);
+    }
+    const Simplex facet{Simplex(views)};
+    EXPECT_TRUE(ch.complex.contains(facet));
+    seen.insert(facet);
+  }
+  EXPECT_EQ(seen.size(), 13u);
+  EXPECT_EQ(ch.complex.count(2), 13u);  // exact correspondence
+}
+
+TEST(Iis, TwoRoundViewsFormChTwoSimplices) {
+  VertexPool pool;
+  SimplicialComplex base;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  base.add(Simplex{x0, x1, x2});
+  const SubdividedComplex ch = chromatic_subdivision(pool, base, 2);
+
+  std::set<Simplex> seen;
+  for (const auto& schedule : runtime::all_iis_schedules({0, 1, 2}, 2)) {
+    const auto outcomes =
+        run_iis(pool, {{0, x0}, {1, x1}, {2, x2}}, 2, nullptr, schedule);
+    std::vector<VertexId> views;
+    for (const auto& o : outcomes) views.push_back(*o.view);
+    const Simplex facet{Simplex(views)};
+    EXPECT_TRUE(ch.complex.contains(facet));
+    seen.insert(facet);
+  }
+  EXPECT_EQ(seen.size(), 169u);
+}
+
+TEST(Iis, PartialParticipationLandsInSubdividedFace) {
+  // Only P0 and P2 run: views lie in Ch of the {x0, x2} edge.
+  VertexPool pool;
+  SimplicialComplex base;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  base.add(Simplex{x0, x1, x2});
+  const SubdividedComplex ch = chromatic_subdivision(pool, base, 1);
+
+  for (const auto& schedule : runtime::all_iis_schedules({0, 2}, 1)) {
+    const auto outcomes = run_iis(pool, {{0, x0}, {2, x2}}, 1, nullptr, schedule);
+    const Simplex edge{*outcomes[0].view, *outcomes[1].view};
+    EXPECT_TRUE(ch.complex.contains(edge));
+    EXPECT_TRUE((Simplex{x0, x2}).contains_all(ch.carrier_of(edge)));
+  }
+}
+
+TEST(Iis, DecisionMapExecutesWitness) {
+  // Solve the 1-round subdivision task with the solver, then execute the
+  // witness on the simulator: outputs must always satisfy Δ.
+  const Task t = zoo::subdivision_task(1);
+  const SubdividedComplex domain = chromatic_subdivision(*t.pool, t.input, 1);
+  MapSearchOptions options;
+  const MapSearchResult found = find_decision_map(*t.pool, domain, t, options);
+  ASSERT_TRUE(found.found);
+
+  const Simplex sigma = t.input.facets().front();
+  for (const auto& schedule : runtime::all_iis_schedules({0, 1, 2}, 1)) {
+    const auto outcomes =
+        run_iis(*t.pool, {{0, sigma[0]}, {1, sigma[1]}, {2, sigma[2]}}, 1,
+                &found.map, schedule);
+    std::vector<VertexId> decisions;
+    for (const auto& o : outcomes) {
+      ASSERT_TRUE(o.decision.has_value());
+      decisions.push_back(*o.decision);
+    }
+    EXPECT_TRUE(t.delta.allows(sigma, Simplex(decisions)));
+  }
+}
+
+TEST(Iis, DecisionMapRespectsPartialParticipation) {
+  const Task t = zoo::subdivision_task(1);
+  const SubdividedComplex domain = chromatic_subdivision(*t.pool, t.input, 1);
+  MapSearchOptions options;
+  const MapSearchResult found = find_decision_map(*t.pool, domain, t, options);
+  ASSERT_TRUE(found.found);
+
+  const Simplex sigma = t.input.facets().front();
+  const Simplex tau{sigma[0], sigma[1]};
+  for (const auto& schedule : runtime::all_iis_schedules({0, 1}, 1)) {
+    const auto outcomes = run_iis(
+        *t.pool, {{0, sigma[0]}, {1, sigma[1]}}, 1, &found.map, schedule);
+    std::vector<VertexId> decisions;
+    for (const auto& o : outcomes) decisions.push_back(*o.decision);
+    EXPECT_TRUE(t.delta.allows(tau, Simplex(decisions)));
+  }
+}
+
+TEST(Iis, RandomSchedulesAgreeWithSubdivision) {
+  VertexPool pool;
+  SimplicialComplex base;
+  const VertexId x0 = pool.vertex(0, 0), x1 = pool.vertex(1, 1),
+                 x2 = pool.vertex(2, 2);
+  base.add(Simplex{x0, x1, x2});
+  const SubdividedComplex ch = chromatic_subdivision(pool, base, 3);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    protocols::IisShared shared(3, 3);
+    std::vector<IisOutcome> outcomes(3);
+    std::vector<runtime::ProcessBody> procs;
+    for (int i = 0; i < 3; ++i) {
+      const VertexId input = i == 0 ? x0 : (i == 1 ? x1 : x2);
+      procs.push_back(
+          protocols::iis_process(shared, pool, i, input, 3, nullptr, outcomes[static_cast<std::size_t>(i)]));
+    }
+    runtime::Executor ex(std::move(procs));
+    std::mt19937_64 rng(seed);
+    ex.run_random(rng);
+    std::vector<VertexId> views;
+    for (const auto& o : outcomes) views.push_back(*o.view);
+    EXPECT_TRUE(ch.complex.contains(Simplex(views)));
+  }
+}
+
+}  // namespace
+}  // namespace trichroma

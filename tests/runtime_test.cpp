@@ -1,0 +1,204 @@
+// Tests for the coroutine scheduler and the shared-memory objects:
+// atomicity of single steps, immediate-snapshot block semantics
+// (self-inclusion, containment, immediacy), deterministic replay, and the
+// randomized adversary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "runtime/shared_memory.h"
+#include "runtime/system.h"
+
+namespace trichroma::runtime {
+namespace {
+
+// A tiny protocol: write own id, collect, remember what was seen.
+ProcessBody write_then_scan(SnapshotObject<int>& snap, int pid,
+                            std::vector<int>& seen) {
+  co_await Turn{OpPhase::Single};
+  snap.update(pid, pid * 10);
+  co_await Turn{OpPhase::Single};
+  for (const auto& [who, value] : snap.scan_present()) {
+    (void)value;
+    seen.push_back(who);
+  }
+}
+
+TEST(Runtime, SequentialScheduleSeesPrefix) {
+  SnapshotObject<int> snap(3);
+  std::vector<std::vector<int>> seen(3);
+  std::vector<ProcessBody> procs;
+  for (int i = 0; i < 3; ++i) procs.push_back(write_then_scan(snap, i, seen[i]));
+  Executor ex(std::move(procs));
+  // Fully sequential: P0 writes+scans, then P1, then P2.
+  ex.run(Schedule{{0}, {0}, {1}, {1}, {2}, {2}});
+  EXPECT_EQ(seen[0], (std::vector<int>{0}));
+  EXPECT_EQ(seen[1], (std::vector<int>{0, 1}));
+  EXPECT_EQ(seen[2], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Runtime, InterleavedScheduleSeesConcurrentWrites) {
+  SnapshotObject<int> snap(3);
+  std::vector<std::vector<int>> seen(3);
+  std::vector<ProcessBody> procs;
+  for (int i = 0; i < 3; ++i) procs.push_back(write_then_scan(snap, i, seen[i]));
+  Executor ex(std::move(procs));
+  // All write first, then all scan: everybody sees everybody.
+  ex.run(Schedule{{0}, {1}, {2}, {0}, {1}, {2}});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], (std::vector<int>{0, 1, 2}));
+  }
+}
+
+TEST(Runtime, ExecutorRejectsFinishedProcess) {
+  SnapshotObject<int> snap(1);
+  std::vector<int> seen;
+  std::vector<ProcessBody> procs;
+  procs.push_back(write_then_scan(snap, 0, seen));
+  Executor ex(std::move(procs));
+  ex.run({});
+  EXPECT_TRUE(ex.all_done());
+  EXPECT_THROW(ex.step(Block{0}), std::logic_error);
+}
+
+TEST(Runtime, EmptySlotsActAsAbsentProcesses) {
+  SnapshotObject<int> snap(3);
+  std::vector<int> seen;
+  std::vector<ProcessBody> procs(3);  // only pid 1 exists
+  procs[1] = write_then_scan(snap, 1, seen);
+  Executor ex(std::move(procs));
+  EXPECT_EQ(ex.enabled(), (std::vector<int>{1}));
+  ex.run({});
+  EXPECT_EQ(seen, (std::vector<int>{1}));
+}
+
+// Immediate snapshot protocol: one write-snapshot, record the view.
+ProcessBody is_once(ImmediateSnapshotObject<int>& obj, int pid,
+                    std::vector<int>& view) {
+  co_await Turn{OpPhase::IsWrite};
+  obj.write(pid, pid);
+  co_await Turn{OpPhase::IsRead};
+  for (const auto& [who, value] : obj.snap()) {
+    (void)value;
+    view.push_back(who);
+  }
+}
+
+/// Runs the 3-process one-shot IS under `schedule`, returns views by pid.
+std::vector<std::vector<int>> run_is(const Schedule& schedule) {
+  ImmediateSnapshotObject<int> obj(3);
+  std::vector<std::vector<int>> views(3);
+  std::vector<ProcessBody> procs;
+  for (int i = 0; i < 3; ++i) procs.push_back(is_once(obj, i, views[i]));
+  Executor ex(std::move(procs));
+  ex.run(schedule);
+  return views;
+}
+
+TEST(Runtime, ImmediateSnapshotBlockSemantics) {
+  // One block {0,1,2}: everyone sees everyone.
+  const auto views = run_is(Schedule{{0, 1, 2}});
+  for (const auto& v : views) EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Runtime, ImmediateSnapshotOrderedBlocks) {
+  // Blocks ({1}, {0,2}): P1 sees {1}; P0 and P2 see all three.
+  const auto views = run_is(Schedule{{1}, {0, 2}});
+  EXPECT_EQ(views[1], (std::vector<int>{1}));
+  EXPECT_EQ(views[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(views[2], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Runtime, ImmediateSnapshotPropertiesExhaustive) {
+  // Over all 13 ordered partitions: self-inclusion, containment (views are
+  // totally ordered), immediacy (j ∈ view_i ⇒ view_j ⊆ view_i).
+  for (const Schedule& schedule : ordered_partition_schedules({0, 1, 2})) {
+    const auto views = run_is(schedule);
+    for (int i = 0; i < 3; ++i) {
+      const auto& vi = views[static_cast<std::size_t>(i)];
+      EXPECT_NE(std::find(vi.begin(), vi.end(), i), vi.end());  // self-inclusion
+      for (int j : vi) {
+        const auto& vj = views[static_cast<std::size_t>(j)];
+        EXPECT_TRUE(std::includes(vi.begin(), vi.end(), vj.begin(), vj.end()));
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        const auto& vi = views[static_cast<std::size_t>(i)];
+        const auto& vj = views[static_cast<std::size_t>(j)];
+        EXPECT_TRUE(std::includes(vi.begin(), vi.end(), vj.begin(), vj.end()) ||
+                    std::includes(vj.begin(), vj.end(), vi.begin(), vi.end()));
+      }
+    }
+  }
+}
+
+TEST(Runtime, ThirteenDistinctViewProfiles) {
+  // The 13 ordered partitions give 13 distinct view profiles — the facets
+  // of the standard chromatic subdivision.
+  std::set<std::vector<std::vector<int>>> profiles;
+  for (const Schedule& schedule : ordered_partition_schedules({0, 1, 2})) {
+    profiles.insert(run_is(schedule));
+  }
+  EXPECT_EQ(profiles.size(), 13u);
+}
+
+TEST(Runtime, MultiBlockRequiresIsWrite) {
+  SnapshotObject<int> snap(2);
+  std::vector<int> seen0, seen1;
+  std::vector<ProcessBody> procs;
+  procs.push_back(write_then_scan(snap, 0, seen0));
+  procs.push_back(write_then_scan(snap, 1, seen1));
+  Executor ex(std::move(procs));
+  EXPECT_THROW(ex.step(Block{0, 1}), std::logic_error);  // Single ops can't block
+}
+
+TEST(Runtime, RandomAdversaryTerminatesAndIsValid) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    ImmediateSnapshotObject<int> obj(3);
+    std::vector<std::vector<int>> views(3);
+    std::vector<ProcessBody> procs;
+    for (int i = 0; i < 3; ++i) procs.push_back(is_once(obj, i, views[i]));
+    Executor ex(std::move(procs));
+    std::mt19937_64 rng(seed);
+    ex.run_random(rng);
+    EXPECT_TRUE(ex.all_done());
+    for (int i = 0; i < 3; ++i) {
+      const auto& vi = views[static_cast<std::size_t>(i)];
+      EXPECT_NE(std::find(vi.begin(), vi.end(), i), vi.end());
+    }
+  }
+}
+
+TEST(Runtime, StepCapThrows) {
+  // A process that never finishes: the run must hit its cap.
+  struct Never {
+    static ProcessBody spin() {
+      for (;;) co_await Turn{OpPhase::Single};
+    }
+  };
+  std::vector<ProcessBody> procs;
+  procs.push_back(Never::spin());
+  Executor ex(std::move(procs));
+  EXPECT_THROW(ex.run({}, 100), std::runtime_error);
+}
+
+TEST(Runtime, AllIisSchedulesCount) {
+  EXPECT_EQ(all_iis_schedules({0, 1, 2}, 1).size(), 13u);
+  EXPECT_EQ(all_iis_schedules({0, 1, 2}, 2).size(), 169u);
+  EXPECT_EQ(all_iis_schedules({0, 1}, 2).size(), 9u);
+}
+
+TEST(Runtime, RegisterFileBasics) {
+  RegisterFile<int> regs(3);
+  EXPECT_FALSE(regs.read(0).has_value());
+  regs.write(0, 42);
+  EXPECT_EQ(regs.read(0).value(), 42);
+  EXPECT_EQ(regs.size(), 3);
+}
+
+}  // namespace
+}  // namespace trichroma::runtime

@@ -1,0 +1,105 @@
+// Tests for Section 3: the canonical form T* and Theorem 3.1's structure.
+
+#include <gtest/gtest.h>
+
+#include "tasks/canonical.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace {
+
+TEST(Canonical, Fig3RunningExampleMatchesFig4) {
+  // Figure 3 → Figure 4: the green facet shared by Δ(σ) and Δ(σ') is pulled
+  // apart into two distinct facets of O*.
+  const Task task = zoo::fig3_running_example();
+  ASSERT_TRUE(task.validate().empty());
+  EXPECT_FALSE(task.is_canonical());  // the green facet has two pre-images
+
+  const Task star = canonicalize(task);
+  EXPECT_TRUE(star.validate().empty());
+  EXPECT_TRUE(star.is_canonical());
+  EXPECT_TRUE(star.input == task.input);
+
+  // O had 2 facets (green, h); O* has 3: green×σ, green×σ', h×σ.
+  EXPECT_EQ(task.output.count(2), 2u);
+  EXPECT_EQ(star.output.count(2), 3u);
+}
+
+TEST(Canonical, ConsensusBecomesCanonical) {
+  const Task task = zoo::consensus(3);
+  EXPECT_FALSE(task.is_canonical());  // the all-0 output serves many inputs
+  const Task star = canonicalize(task);
+  EXPECT_TRUE(star.validate().empty()) << star.validate().front();
+  EXPECT_TRUE(star.is_canonical());
+}
+
+TEST(Canonical, CanonicalizationIsIdempotentOnStructure) {
+  const Task star = canonicalize(zoo::consensus(3));
+  const Task star2 = canonicalize(star);
+  EXPECT_TRUE(star2.is_canonical());
+  // Same facet counts (re-tagging only).
+  EXPECT_EQ(star.output.count(2), star2.output.count(2));
+  EXPECT_EQ(star.output.count(0), star2.output.count(0));
+}
+
+TEST(Canonical, VertexDecomposition) {
+  const Task task = zoo::fig3_running_example();
+  const Task star = canonicalize(task);
+  VertexPool& pool = *star.pool;
+  for (VertexId v : star.output.vertex_ids()) {
+    ASSERT_TRUE(is_canonical_vertex(pool, v));
+    const VertexId x = canonical_input_part(pool, v);
+    const VertexId y = canonical_output_part(pool, v);
+    EXPECT_EQ(pool.color(x), pool.color(v));
+    EXPECT_EQ(pool.color(y), pool.color(v));
+    EXPECT_TRUE(task.input.contains_vertex(x));
+    EXPECT_TRUE(task.output.contains_vertex(y));
+  }
+  for (VertexId v : task.output.vertex_ids()) {
+    EXPECT_FALSE(is_canonical_vertex(pool, v));
+  }
+}
+
+TEST(Canonical, ProjectingBackRecoversOriginalImages) {
+  // Theorem 3.1's easy direction: dropping the echoed input from any facet
+  // of Δ*(X) recovers a facet of Δ(X).
+  const Task task = zoo::majority_consensus();
+  const Task star = canonicalize(task);
+  VertexPool& pool = *star.pool;
+  star.input.for_each([&](const Simplex& x) {
+    for (const Simplex& image : star.delta.facet_images(x)) {
+      std::vector<VertexId> projected;
+      for (VertexId v : image) projected.push_back(canonical_output_part(pool, v));
+      EXPECT_TRUE(task.delta.allows(x, Simplex(std::move(projected))));
+    }
+  });
+}
+
+TEST(Canonical, PreimageUniquenessAtEveryDimension) {
+  const Task star = canonicalize(zoo::set_agreement_32());
+  // Each facet image determines its input simplex: scan all pairs.
+  std::unordered_map<Simplex, Simplex, SimplexHash> owner;
+  bool unique = true;
+  star.input.for_each([&](const Simplex& tau) {
+    for (const Simplex& rho : star.delta.facet_images(tau)) {
+      auto [it, inserted] = owner.emplace(rho, tau);
+      if (!inserted && !(it->second == tau)) unique = false;
+    }
+  });
+  EXPECT_TRUE(unique);
+}
+
+TEST(Canonical, SoloImagesEchoInputs) {
+  const Task task = zoo::consensus(3);
+  const Task star = canonicalize(task);
+  VertexPool& pool = *star.pool;
+  for (VertexId x : star.input.vertex_ids()) {
+    for (const Simplex& img : star.delta.facet_images(Simplex::single(x))) {
+      ASSERT_EQ(img.size(), 1u);
+      EXPECT_EQ(canonical_input_part(pool, img[0]), x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trichroma

@@ -1,0 +1,184 @@
+// Unit tests for CarrierMap and Task validation.
+
+#include <gtest/gtest.h>
+
+#include "tasks/builder.h"
+#include "tasks/task.h"
+
+namespace trichroma {
+namespace {
+
+class CarrierMapTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<VertexPool> pool = std::make_shared<VertexPool>();
+  VertexId in(Color c, std::int64_t x) {
+    auto& vals = pool->values();
+    return pool->vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(x)}));
+  }
+  VertexId out(Color c, std::int64_t x) {
+    auto& vals = pool->values();
+    return pool->vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(x)}));
+  }
+};
+
+TEST_F(CarrierMapTest, AddAndQuery) {
+  CarrierMap delta;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  const Simplex tau{out(0, 0), out(1, 0)};
+  delta.add(sigma, tau);
+  EXPECT_TRUE(delta.defined(sigma));
+  EXPECT_EQ(delta.facet_images(sigma).size(), 1u);
+  EXPECT_TRUE(delta.allows(sigma, tau));
+  EXPECT_TRUE(delta.allows(sigma, Simplex::single(out(0, 0))));  // face
+  EXPECT_FALSE(delta.allows(sigma, Simplex::single(out(0, 9))));
+}
+
+TEST_F(CarrierMapTest, AddDeduplicates) {
+  CarrierMap delta;
+  const Simplex sigma{in(0, 0)};
+  delta.add(sigma, Simplex::single(out(0, 0)));
+  delta.add(sigma, Simplex::single(out(0, 0)));
+  EXPECT_EQ(delta.facet_images(sigma).size(), 1u);
+}
+
+TEST_F(CarrierMapTest, ImageComplexIsClosure) {
+  CarrierMap delta;
+  const Simplex sigma{in(0, 0), in(1, 0), in(2, 0)};
+  const Simplex tau{out(0, 0), out(1, 0), out(2, 0)};
+  delta.add(sigma, tau);
+  const SimplicialComplex image = delta.image_complex(sigma);
+  EXPECT_EQ(image.count(2), 1u);
+  EXPECT_EQ(image.count(1), 3u);
+  EXPECT_EQ(image.count(0), 3u);
+}
+
+TEST_F(CarrierMapTest, ValidateDetectsDimensionMismatch) {
+  SimplicialComplex input;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  input.add(sigma);
+  CarrierMap delta;
+  delta.set(sigma, {Simplex::single(out(0, 0))});  // wrong dimension
+  delta.set(Simplex::single(in(0, 0)), {Simplex::single(out(0, 0))});
+  delta.set(Simplex::single(in(1, 0)), {Simplex::single(out(1, 0))});
+  const auto errors = delta.validate(*pool, input);
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST_F(CarrierMapTest, ValidateDetectsColorMismatch) {
+  SimplicialComplex input;
+  const Simplex x{in(0, 0)};
+  input.add(x);
+  CarrierMap delta;
+  delta.set(x, {Simplex::single(out(1, 0))});  // wrong color
+  EXPECT_FALSE(delta.validate(*pool, input).empty());
+}
+
+TEST_F(CarrierMapTest, ValidateDetectsNonMonotone) {
+  SimplicialComplex input;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  input.add(sigma);
+  CarrierMap delta;
+  delta.set(sigma, {Simplex{out(0, 0), out(1, 0)}});
+  delta.set(Simplex::single(in(0, 0)), {Simplex::single(out(0, 7))});  // not a face
+  delta.set(Simplex::single(in(1, 0)), {Simplex::single(out(1, 0))});
+  const auto errors = delta.validate(*pool, input);
+  ASSERT_FALSE(errors.empty());
+  bool found_monotone = false;
+  for (const auto& e : errors) {
+    if (e.find("monotone") != std::string::npos) found_monotone = true;
+  }
+  EXPECT_TRUE(found_monotone);
+}
+
+TEST_F(CarrierMapTest, ValidateDetectsMissingImage) {
+  SimplicialComplex input;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  input.add(sigma);
+  CarrierMap delta;
+  delta.set(sigma, {Simplex{out(0, 0), out(1, 0)}});
+  // Vertices of σ have no image at all.
+  EXPECT_FALSE(delta.validate(*pool, input).empty());
+}
+
+TEST_F(CarrierMapTest, DownwardClosureIsValidCarrierMap) {
+  SimplicialComplex input;
+  const Simplex sigma{in(0, 0), in(1, 0), in(2, 0)};
+  const Simplex sigma2{in(0, 1), in(1, 0), in(2, 0)};
+  input.add(sigma);
+  input.add(sigma2);
+  std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash> images;
+  // The two facets' images agree on the shared {P1, P2} edge, so every
+  // restriction survives the monotonicity pruning.
+  images[sigma] = {Simplex{out(0, 0), out(1, 0), out(2, 0)}};
+  images[sigma2] = {Simplex{out(0, 1), out(1, 0), out(2, 0)}};
+  const CarrierMap delta = downward_closure(*pool, input, images);
+  EXPECT_TRUE(delta.validate(*pool, input).empty());
+  const Simplex shared{in(1, 0), in(2, 0)};
+  EXPECT_EQ(delta.facet_images(shared).size(), 1u);
+  EXPECT_EQ(delta.facet_images(Simplex::single(in(0, 0))).size(), 1u);
+  EXPECT_EQ(delta.facet_images(Simplex::single(in(0, 1))).size(), 1u);
+}
+
+TEST_F(CarrierMapTest, DownwardClosurePrunesInconsistentInheritance) {
+  // A face shared by two facets whose images disagree: the conflicting
+  // restrictions must be pruned away, leaving a monotone (possibly empty)
+  // image — here the shared vertex keeps nothing.
+  SimplicialComplex input;
+  const Simplex e1{in(0, 0), in(1, 0)};
+  const Simplex e2{in(0, 1), in(1, 0)};
+  input.add(e1);
+  input.add(e2);
+  std::unordered_map<Simplex, std::vector<Simplex>, SimplexHash> images;
+  images[e1] = {Simplex{out(0, 0), out(1, 0)}};
+  images[e2] = {Simplex{out(0, 1), out(1, 1)}};
+  const CarrierMap delta = downward_closure(*pool, input, images);
+  // P1's vertex inherited (1,0) from e1 and (1,1) from e2; neither is a
+  // face of the other facet's image, so both are pruned.
+  EXPECT_TRUE(delta.facet_images(Simplex::single(in(1, 0))).empty());
+  // Validation reports the empty image rather than non-monotonicity.
+  EXPECT_FALSE(delta.validate(*pool, input).empty());
+}
+
+TEST_F(CarrierMapTest, ReachableOutputUnionsAllImages) {
+  SimplicialComplex input;
+  const Simplex x{in(0, 0)}, y{in(0, 1)};
+  input.add(x);
+  input.add(y);
+  CarrierMap delta;
+  delta.set(x, {Simplex::single(out(0, 0))});
+  delta.set(y, {Simplex::single(out(0, 1))});
+  EXPECT_EQ(delta.reachable_output(input).count(0), 2u);
+}
+
+TEST_F(CarrierMapTest, TaskValidateAcceptsWellFormed) {
+  Task task;
+  task.pool = pool;
+  task.name = "tiny";
+  task.num_processes = 2;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  task.input.add(sigma);
+  const Simplex tau{out(0, 0), out(1, 0)};
+  task.output.add(tau);
+  task.delta.set(sigma, {tau});
+  task.delta.set(Simplex::single(in(0, 0)), {Simplex::single(out(0, 0))});
+  task.delta.set(Simplex::single(in(1, 0)), {Simplex::single(out(1, 0))});
+  EXPECT_TRUE(task.validate().empty()) << task.validate().front();
+}
+
+TEST_F(CarrierMapTest, TaskValidateRejectsUnreachableOutput) {
+  Task task;
+  task.pool = pool;
+  task.num_processes = 2;
+  const Simplex sigma{in(0, 0), in(1, 0)};
+  task.input.add(sigma);
+  const Simplex tau{out(0, 0), out(1, 0)};
+  task.output.add(tau);
+  task.output.add(Simplex{out(0, 5), out(1, 5)});  // unreachable
+  task.delta.set(sigma, {tau});
+  task.delta.set(Simplex::single(in(0, 0)), {Simplex::single(out(0, 0))});
+  task.delta.set(Simplex::single(in(1, 0)), {Simplex::single(out(1, 0))});
+  EXPECT_FALSE(task.validate().empty());
+}
+
+}  // namespace
+}  // namespace trichroma

@@ -1,0 +1,227 @@
+// Structural tests for the task zoo: every constructor yields a valid
+// carrier map, and the paper tasks match their figures vertex-for-vertex.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "tasks/zoo.h"
+#include "topology/graph.h"
+#include "topology/homology.h"
+
+namespace trichroma {
+namespace {
+
+TEST(Zoo, AllTasksValidate) {
+  const std::vector<Task> tasks = {
+      zoo::consensus(3),
+      zoo::consensus(2),
+      zoo::set_agreement_32(),
+      zoo::identity_task(),
+      zoo::renaming(5),
+      zoo::renaming(3),
+      zoo::approximate_agreement(2),
+      zoo::approximate_agreement_2(2),
+      zoo::subdivision_task(0),
+      zoo::subdivision_task(1),
+      zoo::majority_consensus(),
+      zoo::hourglass(),
+      zoo::pinwheel(),
+      zoo::fig3_running_example(),
+      zoo::loop_agreement_hollow_triangle(),
+      zoo::loop_agreement_filled_triangle(),
+  };
+  for (const Task& t : tasks) {
+    const auto errors = t.validate();
+    EXPECT_TRUE(errors.empty()) << t.name << ": " << errors.front();
+  }
+}
+
+TEST(Zoo, ConsensusShape) {
+  const Task t = zoo::consensus(3);
+  EXPECT_EQ(t.input.count(0), 6u);   // 3 processes x 2 values
+  EXPECT_EQ(t.input.count(2), 8u);   // all binary assignments
+  EXPECT_EQ(t.output.count(2), 2u);  // all-0 and all-1
+  // Mixed-input edge images are disconnected — the classic obstruction.
+  VertexPool& pool = *t.pool;
+  auto iv = [&](Color c, std::int64_t v) {
+    auto& vals = pool.values();
+    return pool.vertex(c, vals.of_tuple({vals.of_string("in"), vals.of_int(v)}));
+  };
+  const SimplicialComplex mixed =
+      t.delta.image_complex(Simplex{iv(0, 0), iv(1, 1)});
+  EXPECT_EQ(component_count(mixed), 2u);
+}
+
+TEST(Zoo, SetAgreement32Shape) {
+  const Task t = zoo::set_agreement_32();
+  EXPECT_EQ(t.input.count(2), 1u);   // fixed inputs: a single facet
+  EXPECT_EQ(t.output.count(0), 9u);  // (color, value) for 3 x 3
+  // 27 assignments minus the 6 with three distinct values.
+  EXPECT_EQ(t.output.count(2), 21u);
+  const Simplex sigma = t.input.facets().front();
+  EXPECT_EQ(t.delta.facet_images(sigma).size(), 21u);
+}
+
+TEST(Zoo, MajorityConsensusMatchesFig1) {
+  const Task t = zoo::majority_consensus();
+  const Simplex sigma = t.input.facets().front();
+  for (const Simplex& out : t.delta.facet_images(sigma)) {
+    // Count decided zeros/ones: all-same or strictly more zeros.
+    int zeros = 0, ones = 0;
+    for (VertexId v : out) {
+      const auto val = t.pool->values().elements(t.pool->value(v))[1];
+      (t.pool->values().as_int(val) == 0 ? zeros : ones)++;
+    }
+    EXPECT_TRUE(zeros == 0 || ones == 0 || zeros > ones);
+  }
+}
+
+TEST(Zoo, HourglassMatchesFig2) {
+  const Task t = zoo::hourglass();
+  EXPECT_EQ(t.input.count(2), 1u);
+  EXPECT_EQ(t.output.count(0), 8u);
+  EXPECT_EQ(t.output.count(2), 8u);
+  EXPECT_TRUE(t.is_canonical());
+  EXPECT_FALSE(t.is_link_connected());
+
+  // The unique LAP is P0's output-1 vertex y, with link components
+  // {a1, a2} and {s1, s2}.
+  VertexPool& pool = *t.pool;
+  auto ov = [&](Color c, std::int64_t v) {
+    auto& vals = pool.values();
+    return pool.vertex(c, vals.of_tuple({vals.of_string("out"), vals.of_int(v)}));
+  };
+  const VertexId y = ov(0, 1);
+  const Simplex sigma = t.input.facets().front();
+  const SimplicialComplex image = t.delta.image_complex(sigma);
+  const auto comps = connected_components(image.link(y));
+  ASSERT_EQ(comps.size(), 2u);
+  // Components sorted by smallest vertex id: solo vertices were interned
+  // before the output-1 vertices.
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{ov(1, 0), ov(2, 0)}));
+  EXPECT_EQ(comps[1], (std::vector<VertexId>{ov(1, 1), ov(2, 1)}));
+  // No other vertex is a LAP.
+  for (VertexId v : image.vertex_ids()) {
+    if (v == y) continue;
+    EXPECT_TRUE(is_connected(image.link(v))) << pool.name(v);
+  }
+  // The output complex has one GF(2) hole: the hourglass waist.
+  EXPECT_EQ(betti_numbers(t.output).b1, 1);
+}
+
+TEST(Zoo, PinwheelMatchesFig8) {
+  const Task t = zoo::pinwheel();
+  EXPECT_EQ(t.output.count(2), 9u);  // three blades of three triangles
+  EXPECT_EQ(t.output.count(0), 9u);
+  EXPECT_TRUE(t.is_canonical());
+
+  // Exactly six LAPs, each with a two-component link; the blade adjacency
+  // is 3-fold symmetric.
+  VertexPool& pool = *t.pool;
+  const Simplex sigma = t.input.facets().front();
+  const SimplicialComplex image = t.delta.image_complex(sigma);
+  int laps = 0;
+  for (VertexId v : image.vertex_ids()) {
+    const auto comps = connected_components(image.link(v));
+    if (comps.size() >= 2) {
+      ++laps;
+      EXPECT_EQ(comps.size(), 2u) << pool.name(v);
+    }
+  }
+  EXPECT_EQ(laps, 6);
+  // Pre-split the complex is connected.
+  EXPECT_TRUE(is_connected(t.output));
+}
+
+TEST(Zoo, PinwheelKeptVectorsAreRotationClosed) {
+  const auto kept = zoo::pinwheel_kept_vectors();
+  ASSERT_EQ(kept.size(), 9u);
+  auto rotate = [](std::array<int, 3> v) {
+    auto bump = [](int x) { return x % 3 + 1; };
+    return std::array<int, 3>{bump(v[2]), bump(v[0]), bump(v[1])};
+  };
+  for (const auto& v : kept) {
+    const auto r = rotate(v);
+    EXPECT_NE(std::find(kept.begin(), kept.end(), r), kept.end());
+  }
+}
+
+TEST(Zoo, SubdivisionTaskShape) {
+  const Task t0 = zoo::subdivision_task(0);
+  EXPECT_EQ(t0.output.count(2), 1u);
+  const Task t1 = zoo::subdivision_task(1);
+  EXPECT_EQ(t1.output.count(2), 13u);
+  EXPECT_TRUE(t1.is_canonical());
+  const Task t2 = zoo::subdivision_task(2);
+  EXPECT_EQ(t2.output.count(2), 169u);
+}
+
+TEST(Zoo, ApproximateAgreementShape) {
+  const Task t = zoo::approximate_agreement(2);
+  // Inputs 0/2 per process; outputs 0..2 within distance 1 and the input
+  // range; solo executions decide their own input.
+  VertexPool& pool = *t.pool;
+  for (VertexId x : t.input.vertex_ids()) {
+    const auto images = t.delta.facet_images(Simplex::single(x));
+    ASSERT_EQ(images.size(), 1u);
+    EXPECT_EQ(pool.values().as_int(pool.values().elements(pool.value(images[0][0]))[1]),
+              pool.values().as_int(pool.values().elements(pool.value(x))[1]));
+  }
+}
+
+TEST(Zoo, LoopAgreementShapes) {
+  const Task hollow = zoo::loop_agreement_hollow_triangle();
+  EXPECT_EQ(hollow.input.count(0), 9u);  // 3 colors x 3 indices
+  EXPECT_EQ(hollow.input.count(2), 27u);
+  const Task filled = zoo::loop_agreement_filled_triangle();
+  EXPECT_TRUE(filled.input == hollow.input || filled.input.count(2) == 27u);
+}
+
+TEST(Zoo, RandomTasksValidate) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    zoo::RandomTaskParams params;
+    params.seed = seed;
+    params.num_input_facets = 1 + static_cast<int>(seed % 4);
+    const Task t = zoo::random_task(params);
+    const auto errors = t.validate();
+    EXPECT_TRUE(errors.empty()) << t.name << ": " << errors.front();
+  }
+}
+
+TEST(Zoo, TwoProcessTasksValidate) {
+  const Task c2 = zoo::consensus_2();
+  EXPECT_EQ(c2.num_processes, 2);
+  EXPECT_TRUE(c2.validate().empty());
+  const Task a2 = zoo::approximate_agreement_2(2);
+  EXPECT_TRUE(a2.validate().empty());
+}
+
+
+TEST(Zoo, TestAndSetShape) {
+  const Task t = zoo::test_and_set(3);
+  EXPECT_TRUE(t.validate().empty());
+  // Exactly-one-winner: 3 facets for full participation.
+  EXPECT_EQ(t.delta.facet_images(t.input.facets().front()).size(), 3u);
+  const Task t2 = zoo::test_and_set(2);
+  EXPECT_TRUE(t2.validate().empty());
+}
+
+TEST(Zoo, WeakSymmetryBreakingShape) {
+  const Task t = zoo::weak_symmetry_breaking(3);
+  EXPECT_TRUE(t.validate().empty());
+  // 2^3 - 2 all-distinct-forbidden = 6 full facets.
+  EXPECT_EQ(t.delta.facet_images(t.input.facets().front()).size(), 6u);
+}
+
+
+TEST(Zoo, SurfaceLoopAgreementShapes) {
+  const Task torus = zoo::loop_agreement_torus();
+  EXPECT_TRUE(torus.validate().empty()) << torus.validate().front();
+  const Task rp2 = zoo::loop_agreement_projective_plane();
+  EXPECT_TRUE(rp2.validate().empty()) << rp2.validate().front();
+}
+
+}  // namespace
+}  // namespace trichroma

@@ -1,0 +1,257 @@
+// Unit tests for GF(2) homology: Betti numbers and bounding queries on
+// standard shapes (disk, circle, annulus, sphere, wedge).
+
+#include <gtest/gtest.h>
+
+#include "topology/homology.h"
+
+namespace trichroma {
+namespace {
+
+class HomologyTest : public ::testing::Test {
+ protected:
+  VertexPool pool;
+  VertexId v(std::int64_t x) { return pool.vertex(kNoColor, x); }
+
+  SimplicialComplex cycle(int n, int base = 0) {
+    SimplicialComplex k;
+    for (int i = 0; i < n; ++i) {
+      k.add(Simplex{v(base + i), v(base + (i + 1) % n)});
+    }
+    return k;
+  }
+};
+
+TEST_F(HomologyTest, PointAndDisk) {
+  SimplicialComplex point;
+  point.add(Simplex::single(v(0)));
+  auto b = betti_numbers(point);
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 0);
+
+  SimplicialComplex disk;
+  disk.add(Simplex{v(0), v(1), v(2)});
+  b = betti_numbers(disk);
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 0);
+  EXPECT_EQ(b.b2, 0);
+}
+
+TEST_F(HomologyTest, CircleHasB1One) {
+  const auto b = betti_numbers(cycle(6));
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 1);
+  EXPECT_EQ(b.b2, 0);
+}
+
+TEST_F(HomologyTest, TwoCirclesHaveB0TwoB1Two) {
+  SimplicialComplex k = cycle(3, 0);
+  k.add_all(cycle(3, 10));
+  const auto b = betti_numbers(k);
+  EXPECT_EQ(b.b0, 2);
+  EXPECT_EQ(b.b1, 2);
+}
+
+TEST_F(HomologyTest, SphereOctahedron) {
+  // Boundary of the octahedron: vertices {0,1} x {2,3} x {4,5} poles.
+  SimplicialComplex k;
+  for (int a : {0, 1}) {
+    for (int b : {2, 3}) {
+      for (int c : {4, 5}) {
+        k.add(Simplex{v(a), v(b), v(c)});
+      }
+    }
+  }
+  const auto b = betti_numbers(k);
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 0);
+  EXPECT_EQ(b.b2, 1);
+}
+
+TEST_F(HomologyTest, AnnulusBoundaryCycleDoesNotBound) {
+  // Hexagonal annulus: outer 0,1,2 / inner 3,4,5.
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1), v(5)});
+  k.add(Simplex{v(1), v(5), v(3)});
+  k.add(Simplex{v(1), v(2), v(3)});
+  k.add(Simplex{v(2), v(3), v(4)});
+  k.add(Simplex{v(2), v(0), v(4)});
+  k.add(Simplex{v(0), v(4), v(5)});
+  const auto b = betti_numbers(k);
+  EXPECT_EQ(b.b1, 1);
+
+  const Chain outer = loop_to_chain({v(0), v(1), v(2)});
+  ASSERT_TRUE(is_one_cycle(outer));
+  EXPECT_FALSE(bounds_in(k, outer));
+
+  // The outer and inner cycles are homologous: outer + inner bounds.
+  const Chain inner = loop_to_chain({v(3), v(4), v(5)});
+  EXPECT_FALSE(bounds_in(k, inner));
+  EXPECT_TRUE(bounds_in(k, chain_add(outer, inner)));
+  // Equivalently, outer bounds modulo the inner cycle as a generator.
+  EXPECT_TRUE(bounds_modulo(k, outer, {inner}));
+}
+
+TEST_F(HomologyTest, DiskBoundaryBounds) {
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1), v(2)});
+  const Chain boundary_cycle = loop_to_chain({v(0), v(1), v(2)});
+  EXPECT_TRUE(bounds_in(k, boundary_cycle));
+}
+
+TEST_F(HomologyTest, ChainAlgebra) {
+  const Simplex e1{v(0), v(1)}, e2{v(1), v(2)}, e3{v(0), v(2)};
+  const Chain a{e1, e2}, b{e2, e3};
+  const Chain sum = chain_add(a, b);
+  EXPECT_EQ(sum.size(), 2u);  // e2 cancels
+  EXPECT_EQ(chain_add(a, a), Chain{});
+  const Chain tri_boundary = boundary({Simplex{v(0), v(1), v(2)}});
+  EXPECT_EQ(tri_boundary.size(), 3u);
+  EXPECT_TRUE(is_one_cycle(tri_boundary));
+}
+
+TEST_F(HomologyTest, LoopToChainCancelsBacktracking) {
+  // A pure out-and-back walk cancels entirely over GF(2).
+  EXPECT_TRUE(loop_to_chain({v(0), v(1), v(0), v(2)}).empty());
+  // 0-1-2-1-3 (closed) cancels the 1-2 backtrack, leaving the 0-1-3 cycle.
+  const Chain c = loop_to_chain({v(0), v(1), v(2), v(1), v(3)});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(is_one_cycle(c));
+}
+
+TEST_F(HomologyTest, CycleBasisOfThetaGraph) {
+  // Theta graph: two vertices joined by three internally disjoint paths →
+  // cycle space of dimension 2.
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1)});
+  k.add(Simplex{v(0), v(2)});
+  k.add(Simplex{v(2), v(1)});
+  k.add(Simplex{v(0), v(3)});
+  k.add(Simplex{v(3), v(1)});
+  const auto basis = cycle_basis(k);
+  EXPECT_EQ(basis.size(), 2u);
+  for (const Chain& c : basis) EXPECT_TRUE(is_one_cycle(c));
+}
+
+TEST_F(HomologyTest, CycleBasisOfForestIsEmpty) {
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1)});
+  k.add(Simplex{v(1), v(2)});
+  k.add(Simplex{v(3), v(4)});
+  EXPECT_TRUE(cycle_basis(k).empty());
+}
+
+
+TEST_F(HomologyTest, OrientedChainBasics) {
+  const VertexId a = v(0), b = v(1);  // intern in ascending-id order
+  OrientedChain c;
+  oriented_add_edge(c, a, b);
+  oriented_add_edge(c, b, a);  // cancels
+  EXPECT_TRUE(c.empty());
+  oriented_add_edge(c, a, b);
+  oriented_add_edge(c, a, b);
+  EXPECT_EQ(c.at((Simplex{a, b})), 2);  // accumulates with sign
+}
+
+TEST_F(HomologyTest, OrientedPathAndCycle) {
+  const OrientedChain path = oriented_path_chain({v(0), v(1), v(2)});
+  EXPECT_FALSE(is_oriented_cycle(path));
+  const OrientedChain loop = oriented_path_chain({v(0), v(1), v(2), v(0)});
+  EXPECT_TRUE(is_oriented_cycle(loop));
+  EXPECT_EQ(loop.size(), 3u);
+}
+
+TEST_F(HomologyTest, BoundsModuloPOnDiskAndAnnulus) {
+  SimplicialComplex disk;
+  disk.add(Simplex{v(0), v(1), v(2)});
+  const OrientedChain tri = oriented_path_chain({v(0), v(1), v(2), v(0)});
+  EXPECT_TRUE(bounds_modulo_p(disk, tri, {}, 2));
+  EXPECT_TRUE(bounds_modulo_p(disk, tri, {}, 3));
+
+  // Hexagonal annulus: the outer cycle does not bound over any prime.
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1), v(5)});
+  k.add(Simplex{v(1), v(5), v(3)});
+  k.add(Simplex{v(1), v(2), v(3)});
+  k.add(Simplex{v(2), v(3), v(4)});
+  k.add(Simplex{v(2), v(0), v(4)});
+  k.add(Simplex{v(0), v(4), v(5)});
+  const OrientedChain outer = oriented_path_chain({v(0), v(1), v(2), v(0)});
+  EXPECT_FALSE(bounds_modulo_p(k, outer, {}, 2));
+  EXPECT_FALSE(bounds_modulo_p(k, outer, {}, 3));
+
+  // The *doubled* outer cycle is exactly what GF(2) cannot see: it reduces
+  // to zero mod 2 ("bounds" trivially) but is 2.gamma != 0 mod 3.
+  OrientedChain doubled;
+  for (const auto& [edge, coeff] : outer) doubled.emplace(edge, 2 * coeff);
+  EXPECT_TRUE(bounds_modulo_p(k, doubled, {}, 2));
+  EXPECT_FALSE(bounds_modulo_p(k, doubled, {}, 3));
+}
+
+TEST_F(HomologyTest, BoundsModuloPWithGenerators) {
+  // Annulus again: outer bounds modulo the inner cycle over every prime.
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1), v(5)});
+  k.add(Simplex{v(1), v(5), v(3)});
+  k.add(Simplex{v(1), v(2), v(3)});
+  k.add(Simplex{v(2), v(3), v(4)});
+  k.add(Simplex{v(2), v(0), v(4)});
+  k.add(Simplex{v(0), v(4), v(5)});
+  const OrientedChain outer = oriented_path_chain({v(0), v(1), v(2), v(0)});
+  const OrientedChain inner = oriented_path_chain({v(3), v(4), v(5), v(3)});
+  EXPECT_TRUE(bounds_modulo_p(k, outer, {inner}, 2));
+  EXPECT_TRUE(bounds_modulo_p(k, outer, {inner}, 3));
+}
+
+TEST_F(HomologyTest, OrientedCycleBasisMatchesUnoriented) {
+  SimplicialComplex k;
+  k.add(Simplex{v(0), v(1)});
+  k.add(Simplex{v(0), v(2)});
+  k.add(Simplex{v(2), v(1)});
+  k.add(Simplex{v(0), v(3)});
+  k.add(Simplex{v(3), v(1)});
+  const auto basis = oriented_cycle_basis(k);
+  EXPECT_EQ(basis.size(), 2u);
+  for (const OrientedChain& c : basis) {
+    EXPECT_TRUE(is_oriented_cycle(c));
+    for (const auto& [edge, coeff] : c) {
+      (void)edge;
+      EXPECT_TRUE(coeff == 1 || coeff == -1);
+    }
+  }
+}
+
+
+TEST_F(HomologyTest, CsaszarTorusBettiNumbers) {
+  SimplicialComplex torus;
+  for (int i = 0; i < 7; ++i) {
+    auto at = [&](int x) { return v(x % 7); };
+    torus.add(Simplex{at(i), at(i + 1), at(i + 3)});
+    torus.add(Simplex{at(i), at(i + 2), at(i + 3)});
+  }
+  EXPECT_EQ(torus.count(0), 7u);
+  EXPECT_EQ(torus.count(1), 21u);  // complete graph K7
+  EXPECT_EQ(torus.count(2), 14u);
+  EXPECT_EQ(torus.euler_characteristic(), 0);
+  const auto b = betti_numbers(torus);
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 2);
+  EXPECT_EQ(b.b2, 1);
+}
+
+TEST_F(HomologyTest, ProjectivePlaneBettiNumbersOverGf2) {
+  SimplicialComplex rp2;
+  const int faces[10][3] = {{1, 2, 5}, {1, 2, 6}, {1, 3, 4}, {1, 3, 6}, {1, 4, 5},
+                            {2, 3, 4}, {2, 3, 5}, {2, 4, 6}, {3, 5, 6}, {4, 5, 6}};
+  for (const auto& f : faces) rp2.add(Simplex{v(f[0]), v(f[1]), v(f[2])});
+  EXPECT_EQ(rp2.count(1), 15u);  // complete graph K6
+  EXPECT_EQ(rp2.euler_characteristic(), 1);
+  // Over GF(2) the projective plane has b1 = b2 = 1 (torsion made visible).
+  const auto b = betti_numbers(rp2);
+  EXPECT_EQ(b.b0, 1);
+  EXPECT_EQ(b.b1, 1);
+  EXPECT_EQ(b.b2, 1);
+}
+
+}  // namespace
+}  // namespace trichroma

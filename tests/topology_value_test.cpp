@@ -1,0 +1,107 @@
+// Unit tests for value and vertex interning.
+
+#include <gtest/gtest.h>
+
+#include "topology/value.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+namespace {
+
+TEST(ValuePool, InternsIntsCanonically) {
+  ValuePool pool;
+  const ValueId a = pool.of_int(42);
+  const ValueId b = pool.of_int(42);
+  const ValueId c = pool.of_int(-7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.as_int(a), 42);
+  EXPECT_EQ(pool.as_int(c), -7);
+  EXPECT_EQ(pool.kind(a), ValuePool::Kind::Int);
+}
+
+TEST(ValuePool, InternsStringsCanonically) {
+  ValuePool pool;
+  const ValueId a = pool.of_string("hello");
+  const ValueId b = pool.of_string("hello");
+  const ValueId c = pool.of_string("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.as_string(c), "world");
+}
+
+TEST(ValuePool, IntAndStringDoNotCollide) {
+  ValuePool pool;
+  EXPECT_NE(pool.of_int(1), pool.of_string("1"));
+}
+
+TEST(ValuePool, TuplesAreOrderSensitive) {
+  ValuePool pool;
+  const ValueId one = pool.of_int(1), two = pool.of_int(2);
+  const ValueId t12 = pool.of_tuple({one, two});
+  const ValueId t21 = pool.of_tuple({two, one});
+  EXPECT_NE(t12, t21);
+  EXPECT_EQ(t12, pool.of_tuple({one, two}));
+  ASSERT_EQ(pool.elements(t12).size(), 2u);
+  EXPECT_EQ(pool.elements(t12)[0], one);
+}
+
+TEST(ValuePool, SetsAreOrderInsensitiveAndDeduped) {
+  ValuePool pool;
+  const ValueId one = pool.of_int(1), two = pool.of_int(2);
+  const ValueId s = pool.of_set({two, one, two});
+  EXPECT_EQ(s, pool.of_set({one, two}));
+  EXPECT_EQ(pool.elements(s).size(), 2u);
+}
+
+TEST(ValuePool, NestedValuesRender) {
+  ValuePool pool;
+  const ValueId inner = pool.of_tuple({pool.of_string("split"), pool.of_int(3)});
+  const ValueId outer = pool.of_set({inner, pool.of_int(9)});
+  EXPECT_FALSE(pool.to_string(outer).empty());
+  EXPECT_EQ(pool.kind(outer), ValuePool::Kind::Set);
+}
+
+TEST(ValuePool, TupleAndSetWithSameElementsDiffer) {
+  ValuePool pool;
+  const ValueId one = pool.of_int(1), two = pool.of_int(2);
+  EXPECT_NE(pool.of_tuple({one, two}), pool.of_set({one, two}));
+}
+
+TEST(VertexPool, InternsByColorAndValue) {
+  VertexPool pool;
+  const VertexId a = pool.vertex(0, 5);
+  const VertexId b = pool.vertex(0, 5);
+  const VertexId c = pool.vertex(1, 5);
+  const VertexId d = pool.vertex(0, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(pool.color(c), 1);
+  EXPECT_EQ(pool.values().as_int(pool.value(d)), 6);
+}
+
+TEST(VertexPool, ColorlessVerticesSupported) {
+  VertexPool pool;
+  const VertexId v = pool.vertex(kNoColor, "node");
+  EXPECT_EQ(pool.color(v), kNoColor);
+  EXPECT_EQ(pool.name(v), "_:node");
+}
+
+TEST(VertexPool, NamesIncludeColorPrefix) {
+  VertexPool pool;
+  const VertexId v = pool.vertex(2, 7);
+  EXPECT_EQ(pool.name(v), "P2:7");
+}
+
+TEST(VertexPool, IdsAreDenseAndStable) {
+  VertexPool pool;
+  const VertexId a = pool.vertex(0, 0);
+  const VertexId b = pool.vertex(1, 0);
+  EXPECT_EQ(raw(a), 0u);
+  EXPECT_EQ(raw(b), 1u);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+}  // namespace
+}  // namespace trichroma

@@ -1,0 +1,207 @@
+// trichroma — command-line front end.
+//
+//   trichroma demo <name>           print a built-in task in the text format
+//   trichroma check <file>          parse and validate a task description
+//   trichroma decide <file>         run the full solvability pipeline
+//   trichroma split <file>          canonicalize + split; print T' and report
+//   trichroma dot <file> in|out     GraphViz rendering of a complex
+//   trichroma run <file> [seed]     synthesize a protocol and execute it
+//   trichroma list                  list built-in demo tasks
+//
+// The text format is documented in src/io/task_format.h; `demo` is the
+// quickest way to get a template to edit.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "core/characterization.h"
+#include "io/task_format.h"
+#include <algorithm>
+
+#include "protocols/pipeline.h"
+#include "protocols/verify.h"
+#include "solver/solvability.h"
+#include "tasks/zoo.h"
+
+using namespace trichroma;
+
+namespace {
+
+std::map<std::string, Task (*)()> demo_tasks() {
+  return {
+      {"consensus", [] { return zoo::consensus(3); }},
+      {"consensus2", [] { return zoo::consensus_2(); }},
+      {"set-agreement", [] { return zoo::set_agreement_32(); }},
+      {"majority-consensus", [] { return zoo::majority_consensus(); }},
+      {"hourglass", [] { return zoo::hourglass(); }},
+      {"pinwheel", [] { return zoo::pinwheel(); }},
+      {"identity", [] { return zoo::identity_task(); }},
+      {"renaming", [] { return zoo::renaming(5); }},
+      {"approx-agreement", [] { return zoo::approximate_agreement(2); }},
+      {"subdivision", [] { return zoo::subdivision_task(1); }},
+      {"fan", [] { return zoo::fan_task(6); }},
+      {"fig3", [] { return zoo::fig3_running_example(); }},
+  };
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trichroma <command> [args]\n"
+               "  demo <name>        print a built-in task (see 'list')\n"
+               "  list               list built-in tasks\n"
+               "  check <file>       parse + validate\n"
+               "  decide <file>      solvability verdict (Theorem 5.1)\n"
+               "  split <file>       canonicalize + split; print T'\n"
+               "  synth <file>       print the synthesized protocol's decision table\n"
+               "  dot <file> in|out  GraphViz for the input/output complex\n"
+               "  run <file> [seed]  synthesize and execute a protocol\n");
+  return 2;
+}
+
+Task load(const char* path) { return io::parse_task(io::read_file(path)); }
+
+int cmd_check(const Task& task) {
+  const auto errors = task.validate();
+  std::printf("%s", task.summary().c_str());
+  if (errors.empty()) {
+    std::printf("OK: valid carrier map\n");
+    return 0;
+  }
+  for (const auto& e : errors) std::printf("ERROR: %s\n", e.c_str());
+  return 1;
+}
+
+int cmd_decide(const Task& task) {
+  const SolvabilityResult r = decide_solvability(task);
+  std::printf("%s", task.summary().c_str());
+  std::printf("verdict: %s\n", to_string(r.verdict));
+  std::printf("reason:  %s\n", r.reason.c_str());
+  if (r.characterization != nullptr) {
+    std::printf("\n%s", r.characterization->report(*task.pool).c_str());
+  }
+  return r.verdict == Verdict::Unknown ? 1 : 0;
+}
+
+int cmd_split(const Task& task) {
+  const CharacterizationResult c = characterize(task);
+  std::printf("%s\n", c.report(*task.pool).c_str());
+  std::printf("%s", io::serialize_task(c.link_connected).c_str());
+  return 0;
+}
+
+int cmd_dot(const Task& task, const char* which) {
+  const bool input = std::strcmp(which, "in") == 0;
+  std::printf("%s", io::to_dot(*task.pool, input ? task.input : task.output,
+                               task.name + (input ? "-input" : "-output"))
+                        .c_str());
+  return 0;
+}
+
+int cmd_synth(const Task& task) {
+  // Direct chromatic synthesis: find a decision map and print it as the
+  // wait-free protocol it encodes.
+  SolvabilityOptions options;
+  const SolvabilityResult r = decide_solvability(task, options);
+  if (r.verdict != Verdict::Solvable || !r.has_chromatic_witness) {
+    std::printf("verdict: %s — nothing to synthesize\nreason: %s\n",
+                to_string(r.verdict), r.reason.c_str());
+    return 1;
+  }
+  std::printf("protocol: run %d round(s) of iterated immediate snapshot,\n"
+              "then decide by the table below (view -> output).\n\n",
+              r.radius);
+  VertexPool& pool = *task.pool;
+  // Order rows by view vertex id for stable output.
+  std::vector<std::pair<VertexId, VertexId>> rows(r.witness.entries().begin(),
+                                                  r.witness.entries().end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return raw(a.first) < raw(b.first);
+  });
+  for (const auto& [view, decision] : rows) {
+    std::printf("  %-48s -> %s\n", pool.name(view).c_str(),
+                pool.name(decision).c_str());
+  }
+  const auto check = protocols::verify_decision_map(task, r.witness, r.radius);
+  std::printf("\nmodel-checked against %zu IIS executions: %s\n",
+              check.executions, check.ok ? "all valid" : check.first_failure.c_str());
+  return check.ok ? 0 : 1;
+}
+
+int cmd_run(const Task& task, std::uint64_t seed) {
+  const auto solver = protocols::build_end_to_end(task, 2);
+  if (!solver.has_value()) {
+    std::printf("no protocol found at radius <= 2 (task may be unsolvable; "
+                "try 'decide')\n");
+    return 1;
+  }
+  std::printf("protocol: %d IIS round(s) + Figure-7 chromatic agreement\n",
+              solver->algorithm.rounds);
+  const int top = task.input.dimension();
+  int runs = 0, valid = 0;
+  for (const Simplex& facet : task.input.simplices(top)) {
+    std::vector<std::pair<int, VertexId>> inputs;
+    for (VertexId v : facet) {
+      inputs.emplace_back(task.pool->color(v), v);
+    }
+    const auto run = protocols::run_end_to_end(*solver, task, inputs, seed);
+    ++runs;
+    valid += run.valid ? 1 : 0;
+    std::printf("facet %s: %s (%zu ops)\n",
+                facet.to_string(*task.pool).c_str(),
+                run.valid ? "valid" : "INVALID", run.total_operations);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (run.decisions.size() > i && run.decisions[i].has_value()) {
+        std::printf("  P%d -> %s\n", inputs[i].first,
+                    task.pool->name(*run.decisions[i]).c_str());
+      }
+    }
+  }
+  std::printf("%d/%d facets executed validly\n", valid, runs);
+  return valid == runs ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") {
+      for (const auto& [name, make] : demo_tasks()) {
+        (void)make;
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (command == "demo") {
+      if (argc != 3) return usage();
+      const auto demos = demo_tasks();
+      auto it = demos.find(argv[2]);
+      if (it == demos.end()) {
+        std::fprintf(stderr, "unknown demo '%s'; see 'trichroma list'\n", argv[2]);
+        return 2;
+      }
+      std::printf("%s", io::serialize_task(it->second()).c_str());
+      return 0;
+    }
+    if (argc < 3) return usage();
+    const Task task = load(argv[2]);
+    if (command == "check") return cmd_check(task);
+    if (command == "synth") return cmd_synth(task);
+    if (command == "decide") return cmd_decide(task);
+    if (command == "split") return cmd_split(task);
+    if (command == "dot") {
+      if (argc != 4) return usage();
+      return cmd_dot(task, argv[3]);
+    }
+    if (command == "run") {
+      const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+      return cmd_run(task, seed);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
