@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_majority.dir/bench_fig1_majority.cpp.o"
+  "CMakeFiles/bench_fig1_majority.dir/bench_fig1_majority.cpp.o.d"
+  "bench_fig1_majority"
+  "bench_fig1_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hourglass.dir/bench_fig2_hourglass.cpp.o"
+  "CMakeFiles/bench_fig2_hourglass.dir/bench_fig2_hourglass.cpp.o.d"
+  "bench_fig2_hourglass"
+  "bench_fig2_hourglass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hourglass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_canonical.dir/bench_fig3_canonical.cpp.o"
+  "CMakeFiles/bench_fig3_canonical.dir/bench_fig3_canonical.cpp.o.d"
+  "bench_fig3_canonical"
+  "bench_fig3_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

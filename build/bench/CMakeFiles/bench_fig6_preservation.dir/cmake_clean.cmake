@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_preservation.dir/bench_fig6_preservation.cpp.o"
+  "CMakeFiles/bench_fig6_preservation.dir/bench_fig6_preservation.cpp.o.d"
+  "bench_fig6_preservation"
+  "bench_fig6_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

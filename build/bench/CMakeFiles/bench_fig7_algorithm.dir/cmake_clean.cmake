@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_algorithm.dir/bench_fig7_algorithm.cpp.o"
+  "CMakeFiles/bench_fig7_algorithm.dir/bench_fig7_algorithm.cpp.o.d"
+  "bench_fig7_algorithm"
+  "bench_fig7_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

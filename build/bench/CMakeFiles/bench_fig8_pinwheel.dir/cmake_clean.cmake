@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pinwheel.dir/bench_fig8_pinwheel.cpp.o"
+  "CMakeFiles/bench_fig8_pinwheel.dir/bench_fig8_pinwheel.cpp.o.d"
+  "bench_fig8_pinwheel"
+  "bench_fig8_pinwheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pinwheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

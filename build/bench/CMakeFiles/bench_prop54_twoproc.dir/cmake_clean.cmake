@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop54_twoproc.dir/bench_prop54_twoproc.cpp.o"
+  "CMakeFiles/bench_prop54_twoproc.dir/bench_prop54_twoproc.cpp.o.d"
+  "bench_prop54_twoproc"
+  "bench_prop54_twoproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop54_twoproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verdict_table.dir/bench_verdict_table.cpp.o"
+  "CMakeFiles/bench_verdict_table.dir/bench_verdict_table.cpp.o.d"
+  "bench_verdict_table"
+  "bench_verdict_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verdict_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_your_task.dir/design_your_task.cpp.o"
+  "CMakeFiles/example_design_your_task.dir/design_your_task.cpp.o.d"
+  "example_design_your_task"
+  "example_design_your_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_your_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_impossibility_tour.dir/impossibility_tour.cpp.o"
+  "CMakeFiles/example_impossibility_tour.dir/impossibility_tour.cpp.o.d"
+  "example_impossibility_tour"
+  "example_impossibility_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_impossibility_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_renaming_run.dir/renaming_run.cpp.o"
+  "CMakeFiles/example_renaming_run.dir/renaming_run.cpp.o.d"
+  "example_renaming_run"
+  "example_renaming_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_renaming_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_process_analysis.dir/two_process_analysis.cpp.o"
+  "CMakeFiles/example_two_process_analysis.dir/two_process_analysis.cpp.o.d"
+  "example_two_process_analysis"
+  "example_two_process_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_process_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

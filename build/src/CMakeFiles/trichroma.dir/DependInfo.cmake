@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterization.cpp" "src/CMakeFiles/trichroma.dir/core/characterization.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/core/characterization.cpp.o.d"
+  "/root/repo/src/core/lap.cpp" "src/CMakeFiles/trichroma.dir/core/lap.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/core/lap.cpp.o.d"
+  "/root/repo/src/core/link_connected.cpp" "src/CMakeFiles/trichroma.dir/core/link_connected.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/core/link_connected.cpp.o.d"
+  "/root/repo/src/core/obstructions.cpp" "src/CMakeFiles/trichroma.dir/core/obstructions.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/core/obstructions.cpp.o.d"
+  "/root/repo/src/core/splitting.cpp" "src/CMakeFiles/trichroma.dir/core/splitting.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/core/splitting.cpp.o.d"
+  "/root/repo/src/io/task_format.cpp" "src/CMakeFiles/trichroma.dir/io/task_format.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/io/task_format.cpp.o.d"
+  "/root/repo/src/protocols/chromatic_agreement.cpp" "src/CMakeFiles/trichroma.dir/protocols/chromatic_agreement.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/protocols/chromatic_agreement.cpp.o.d"
+  "/root/repo/src/protocols/colorless_protocol.cpp" "src/CMakeFiles/trichroma.dir/protocols/colorless_protocol.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/protocols/colorless_protocol.cpp.o.d"
+  "/root/repo/src/protocols/iis.cpp" "src/CMakeFiles/trichroma.dir/protocols/iis.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/protocols/iis.cpp.o.d"
+  "/root/repo/src/protocols/pipeline.cpp" "src/CMakeFiles/trichroma.dir/protocols/pipeline.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/protocols/pipeline.cpp.o.d"
+  "/root/repo/src/protocols/verify.cpp" "src/CMakeFiles/trichroma.dir/protocols/verify.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/protocols/verify.cpp.o.d"
+  "/root/repo/src/runtime/explore.cpp" "src/CMakeFiles/trichroma.dir/runtime/explore.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/runtime/explore.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/trichroma.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/CMakeFiles/trichroma.dir/runtime/system.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/runtime/system.cpp.o.d"
+  "/root/repo/src/solver/map_search.cpp" "src/CMakeFiles/trichroma.dir/solver/map_search.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/solver/map_search.cpp.o.d"
+  "/root/repo/src/solver/solvability.cpp" "src/CMakeFiles/trichroma.dir/solver/solvability.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/solver/solvability.cpp.o.d"
+  "/root/repo/src/tasks/builder.cpp" "src/CMakeFiles/trichroma.dir/tasks/builder.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/builder.cpp.o.d"
+  "/root/repo/src/tasks/canonical.cpp" "src/CMakeFiles/trichroma.dir/tasks/canonical.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/canonical.cpp.o.d"
+  "/root/repo/src/tasks/carrier_map.cpp" "src/CMakeFiles/trichroma.dir/tasks/carrier_map.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/carrier_map.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "src/CMakeFiles/trichroma.dir/tasks/task.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/task.cpp.o.d"
+  "/root/repo/src/tasks/zoo_basic.cpp" "src/CMakeFiles/trichroma.dir/tasks/zoo_basic.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/zoo_basic.cpp.o.d"
+  "/root/repo/src/tasks/zoo_loop.cpp" "src/CMakeFiles/trichroma.dir/tasks/zoo_loop.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/zoo_loop.cpp.o.d"
+  "/root/repo/src/tasks/zoo_paper.cpp" "src/CMakeFiles/trichroma.dir/tasks/zoo_paper.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/zoo_paper.cpp.o.d"
+  "/root/repo/src/tasks/zoo_random.cpp" "src/CMakeFiles/trichroma.dir/tasks/zoo_random.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/tasks/zoo_random.cpp.o.d"
+  "/root/repo/src/topology/chromatic.cpp" "src/CMakeFiles/trichroma.dir/topology/chromatic.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/chromatic.cpp.o.d"
+  "/root/repo/src/topology/complex.cpp" "src/CMakeFiles/trichroma.dir/topology/complex.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/complex.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/trichroma.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/homology.cpp" "src/CMakeFiles/trichroma.dir/topology/homology.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/homology.cpp.o.d"
+  "/root/repo/src/topology/subdivision.cpp" "src/CMakeFiles/trichroma.dir/topology/subdivision.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/subdivision.cpp.o.d"
+  "/root/repo/src/topology/value.cpp" "src/CMakeFiles/trichroma.dir/topology/value.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/value.cpp.o.d"
+  "/root/repo/src/topology/vertex.cpp" "src/CMakeFiles/trichroma.dir/topology/vertex.cpp.o" "gcc" "src/CMakeFiles/trichroma.dir/topology/vertex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lap_test.dir/core_lap_test.cpp.o"
+  "CMakeFiles/core_lap_test.dir/core_lap_test.cpp.o.d"
+  "core_lap_test"
+  "core_lap_test.pdb"
+  "core_lap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

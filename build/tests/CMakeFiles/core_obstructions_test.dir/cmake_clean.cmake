@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_obstructions_test.dir/core_obstructions_test.cpp.o"
+  "CMakeFiles/core_obstructions_test.dir/core_obstructions_test.cpp.o.d"
+  "core_obstructions_test"
+  "core_obstructions_test.pdb"
+  "core_obstructions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_obstructions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_splitting_test.dir/core_splitting_test.cpp.o"
+  "CMakeFiles/core_splitting_test.dir/core_splitting_test.cpp.o.d"
+  "core_splitting_test"
+  "core_splitting_test.pdb"
+  "core_splitting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_splitting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

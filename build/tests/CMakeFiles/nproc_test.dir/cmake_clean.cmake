@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nproc_test.dir/nproc_test.cpp.o"
+  "CMakeFiles/nproc_test.dir/nproc_test.cpp.o.d"
+  "nproc_test"
+  "nproc_test.pdb"
+  "nproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

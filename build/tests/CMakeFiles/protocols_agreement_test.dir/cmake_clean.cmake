@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_agreement_test.dir/protocols_agreement_test.cpp.o"
+  "CMakeFiles/protocols_agreement_test.dir/protocols_agreement_test.cpp.o.d"
+  "protocols_agreement_test"
+  "protocols_agreement_test.pdb"
+  "protocols_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_iis_test.dir/protocols_iis_test.cpp.o"
+  "CMakeFiles/protocols_iis_test.dir/protocols_iis_test.cpp.o.d"
+  "protocols_iis_test"
+  "protocols_iis_test.pdb"
+  "protocols_iis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_iis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

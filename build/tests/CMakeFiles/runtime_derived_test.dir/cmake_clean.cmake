@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_derived_test.dir/runtime_derived_test.cpp.o"
+  "CMakeFiles/runtime_derived_test.dir/runtime_derived_test.cpp.o.d"
+  "runtime_derived_test"
+  "runtime_derived_test.pdb"
+  "runtime_derived_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_derived_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

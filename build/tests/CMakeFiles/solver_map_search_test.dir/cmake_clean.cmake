@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_map_search_test.dir/solver_map_search_test.cpp.o"
+  "CMakeFiles/solver_map_search_test.dir/solver_map_search_test.cpp.o.d"
+  "solver_map_search_test"
+  "solver_map_search_test.pdb"
+  "solver_map_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_map_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

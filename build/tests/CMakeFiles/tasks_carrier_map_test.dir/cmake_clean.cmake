@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasks_carrier_map_test.dir/tasks_carrier_map_test.cpp.o"
+  "CMakeFiles/tasks_carrier_map_test.dir/tasks_carrier_map_test.cpp.o.d"
+  "tasks_carrier_map_test"
+  "tasks_carrier_map_test.pdb"
+  "tasks_carrier_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasks_carrier_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

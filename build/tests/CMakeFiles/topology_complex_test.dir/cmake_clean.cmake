@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_complex_test.dir/topology_complex_test.cpp.o"
+  "CMakeFiles/topology_complex_test.dir/topology_complex_test.cpp.o.d"
+  "topology_complex_test"
+  "topology_complex_test.pdb"
+  "topology_complex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_graph_test.dir/topology_graph_test.cpp.o"
+  "CMakeFiles/topology_graph_test.dir/topology_graph_test.cpp.o.d"
+  "topology_graph_test"
+  "topology_graph_test.pdb"
+  "topology_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_homology_test.dir/topology_homology_test.cpp.o"
+  "CMakeFiles/topology_homology_test.dir/topology_homology_test.cpp.o.d"
+  "topology_homology_test"
+  "topology_homology_test.pdb"
+  "topology_homology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_homology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/topology_value_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_complex_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_homology_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_subdivision_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_carrier_map_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_canonical_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_zoo_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lap_test[1]_include.cmake")
+include("/root/repo/build/tests/core_splitting_test[1]_include.cmake")
+include("/root/repo/build/tests/core_obstructions_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_map_search_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_solvability_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_derived_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_explore_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols_iis_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols_agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/nproc_test[1]_include.cmake")

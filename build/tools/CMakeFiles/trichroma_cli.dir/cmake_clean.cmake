@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trichroma_cli.dir/trichroma_cli.cpp.o"
+  "CMakeFiles/trichroma_cli.dir/trichroma_cli.cpp.o.d"
+  "trichroma"
+  "trichroma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trichroma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
