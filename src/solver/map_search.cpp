@@ -1,12 +1,59 @@
 #include "solver/map_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace trichroma {
+
+const SimplicialComplex* DeltaImageCache::image_of(const CarrierMap& delta,
+                                                   const Simplex& carrier) {
+  auto it = cache_.find(carrier);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second.get();
+  }
+  auto owned = std::make_unique<SimplicialComplex>(delta.image_complex(carrier));
+  const SimplicialComplex* ptr = owned.get();
+  cache_.emplace(carrier, std::move(owned));
+  return ptr;
+}
+
+std::size_t DeltaImageCache::EdgeClassHash::operator()(
+    const EdgeClass& k) const noexcept {
+  std::size_t h = std::hash<const void*>{}(k.allowed);
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<const void*>{}(k.image_a));
+  mix(std::hash<const void*>{}(k.image_b));
+  mix(static_cast<std::size_t>(static_cast<std::uint16_t>(k.color_a)));
+  mix(static_cast<std::size_t>(static_cast<std::uint16_t>(k.color_b)));
+  return h;
+}
+
+const DeltaImageCache::EdgeMasks* DeltaImageCache::find_edge_masks(
+    const EdgeClass& key) const {
+  auto it = masks_.find(key);
+  if (it == masks_.end()) return nullptr;
+  ++mask_hits_;
+  return it->second.get();
+}
+
+const DeltaImageCache::EdgeMasks* DeltaImageCache::store_edge_masks(
+    const EdgeClass& key, EdgeMasks masks) {
+  auto owned = std::make_unique<EdgeMasks>(std::move(masks));
+  const EdgeMasks* ptr = owned.get();
+  masks_.emplace(key, std::move(owned));
+  return ptr;
+}
 
 namespace {
 
@@ -21,6 +68,14 @@ namespace {
 // minimum remaining values. The search is systematic, so a negative
 // answer with `exhausted = true` is a proof of non-existence at this
 // radius.
+//
+// Parallel mode partitions the space by decision prefixes: the top levels
+// of the (MRV-ordered) search tree are expanded breadth-first into disjoint
+// partial assignments, which a pool of workers then races to completion.
+// The prefixes cover the whole tree, so "some worker finds a map" and
+// "every worker exhausts its subtree" are both complete answers, and the
+// found/exhausted verdict matches the sequential one (the witness may be a
+// different valid map — whichever worker wins the race).
 
 using Mask = std::uint64_t;  // domains in this codebase are small (< 64)
 constexpr std::size_t kMaxDomain = 64;
@@ -47,12 +102,11 @@ struct Csp {
   std::vector<NaryConstraint> nary;
   std::vector<std::vector<std::size_t>> nary_of;  // per variable
 
-  std::vector<std::unique_ptr<SimplicialComplex>> image_storage;
   bool trivially_unsat = false;
 };
 
 Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
-              const Task& task, bool chromatic) {
+              const Task& task, bool chromatic, DeltaImageCache& images) {
   Csp csp;
   const std::vector<VertexId> vertices = domain.complex.vertex_ids();
   csp.n = vertices.size();
@@ -60,22 +114,20 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
   std::unordered_map<VertexId, std::size_t, VertexIdHash> index;
   for (std::size_t i = 0; i < csp.n; ++i) index.emplace(vertices[i], i);
 
-  std::unordered_map<Simplex, const SimplicialComplex*, SimplexHash> image_cache;
-  auto image_of = [&](const Simplex& carrier) -> const SimplicialComplex* {
-    auto it = image_cache.find(carrier);
-    if (it != image_cache.end()) return it->second;
-    csp.image_storage.push_back(
-        std::make_unique<SimplicialComplex>(task.delta.image_complex(carrier)));
-    const SimplicialComplex* ptr = csp.image_storage.back().get();
-    image_cache.emplace(carrier, ptr);
-    return ptr;
+  auto image_of = [&](const Simplex& carrier) {
+    return images.image_of(task.delta, carrier);
   };
 
   csp.values.resize(csp.n);
   csp.full_domain.resize(csp.n);
+  // Interned image of each variable's carrier; two variables with the same
+  // (image, color) have identical candidate lists, which is what lets edge
+  // masks be shared below.
+  std::vector<const SimplicialComplex*> vertex_image(csp.n);
   for (std::size_t i = 0; i < csp.n; ++i) {
     const Simplex& carrier = domain.carrier.at(vertices[i]);
-    for (VertexId w : image_of(carrier)->vertex_ids()) {
+    vertex_image[i] = image_of(carrier);
+    for (VertexId w : vertex_image[i]->vertex_ids()) {
       if (!chromatic || pool.color(w) == pool.color(vertices[i])) {
         csp.values[i].push_back(w);
       }
@@ -98,21 +150,35 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
     if (xi.dim() != 1) return;
     const SimplicialComplex* allowed = image_of(domain.carrier_of(xi));
     const std::size_t a = index.at(xi[0]), b = index.at(xi[1]);
+    // Masks depend only on the edge's class (images + colors), not on the
+    // concrete edge; hit the memo before paying the |values|² contains()
+    // sweep. Almost every edge of Ch^r shares its class with many others.
+    const DeltaImageCache::EdgeClass key{
+        allowed, vertex_image[a], vertex_image[b],
+        chromatic ? pool.color(vertices[a]) : kNoColor,
+        chromatic ? pool.color(vertices[b]) : kNoColor};
+    const DeltaImageCache::EdgeMasks* masks = images.find_edge_masks(key);
+    if (masks == nullptr) {
+      DeltaImageCache::EdgeMasks fresh;
+      fresh.ab.assign(csp.values[a].size(), 0);
+      fresh.ba.assign(csp.values[b].size(), 0);
+      for (std::size_t i = 0; i < csp.values[a].size(); ++i) {
+        for (std::size_t j = 0; j < csp.values[b].size(); ++j) {
+          // The image may degenerate to a vertex; both cases must be faces
+          // of Δ(carrier(edge)).
+          if (allowed->contains(Simplex{csp.values[a][i], csp.values[b][j]})) {
+            fresh.ab[i] |= (Mask{1} << j);
+            fresh.ba[j] |= (Mask{1} << i);
+          }
+        }
+      }
+      masks = images.store_edge_masks(key, std::move(fresh));
+    }
     Csp::BinaryConstraint ab, ba;
     ab.other = b;
     ba.other = a;
-    ab.compatible.assign(csp.values[a].size(), 0);
-    ba.compatible.assign(csp.values[b].size(), 0);
-    for (std::size_t i = 0; i < csp.values[a].size(); ++i) {
-      for (std::size_t j = 0; j < csp.values[b].size(); ++j) {
-        // The image may degenerate to a vertex; both cases must be faces
-        // of Δ(carrier(edge)).
-        if (allowed->contains(Simplex{csp.values[a][i], csp.values[b][j]})) {
-          ab.compatible[i] |= (Mask{1} << j);
-          ba.compatible[j] |= (Mask{1} << i);
-        }
-      }
-    }
+    ab.compatible = masks->ab;
+    ba.compatible = masks->ba;
     csp.binary[a].push_back(std::move(ab));
     csp.binary[b].push_back(std::move(ba));
   });
@@ -130,11 +196,22 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
   return csp;
 }
 
+// State shared by every worker of one parallel (or sequential) search.
+struct SharedSearch {
+  std::atomic<std::size_t> nodes{0};
+  std::atomic<bool> stop{false};      // found a map, or cap hit: unwind
+  std::atomic<bool> cap_hit{false};
+  std::atomic<bool> found{false};
+  std::mutex winner_mutex;
+  std::vector<int> winner;            // assignment of the first finisher
+};
+
 struct Solver {
   const Csp& csp;
-  MapSearchResult& result;
+  SharedSearch& shared;
   std::size_t node_cap;
   bool dynamic_ordering = true;
+  bool aborted = false;  // unwound because of the stop flag or the cap
 
   std::vector<Mask> domain;        // current live values
   std::vector<int> assigned;       // value index or -1
@@ -142,8 +219,8 @@ struct Solver {
   std::vector<std::pair<std::size_t, Mask>> trail;
   std::vector<std::size_t> trail_marks;
 
-  explicit Solver(const Csp& c, MapSearchResult& r, std::size_t cap)
-      : csp(c), result(r), node_cap(cap) {
+  Solver(const Csp& c, SharedSearch& s, std::size_t cap, bool mrv)
+      : csp(c), shared(s), node_cap(cap), dynamic_ordering(mrv) {
     domain = csp.full_domain;
     assigned.assign(csp.n, -1);
   }
@@ -196,17 +273,14 @@ struct Solver {
     return true;
   }
 
-  bool search() {
-    // Variable selection: minimum remaining values, or first-unassigned
-    // when dynamic ordering is ablated away.
+  /// MRV variable selection (or first-unassigned when ablated away);
+  /// csp.n when everything is assigned.
+  std::size_t select_variable() const {
     std::size_t best = csp.n;
     int best_count = 1 << 30;
     for (std::size_t i = 0; i < csp.n; ++i) {
       if (assigned[i] >= 0) continue;
-      if (!dynamic_ordering) {
-        best = i;
-        break;
-      }
+      if (!dynamic_ordering) return i;
       const int count = __builtin_popcountll(domain[i]);
       if (count < best_count) {
         best_count = count;
@@ -214,37 +288,217 @@ struct Solver {
         if (count == 1) break;
       }
     }
+    return best;
+  }
+
+  /// Counts a node against the shared budget; false when the search must
+  /// unwind (budget gone or another worker finished).
+  bool charge_node() {
+    if (shared.nodes.fetch_add(1, std::memory_order_relaxed) + 1 > node_cap) {
+      shared.cap_hit.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      aborted = true;
+      return false;
+    }
+    if (shared.stop.load(std::memory_order_relaxed)) {
+      aborted = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Assigns value index `j` to `var` and propagates, pushing an undo mark.
+  /// False on wipe-out (the mark is still pushed; call undo_to_mark).
+  bool assign(std::size_t var, int j) {
+    trail_marks.push_back(trail.size());
+    assigned[var] = j;
+    return propagate(var);
+  }
+
+  void undo_to_mark(std::size_t var) {
+    assigned[var] = -1;
+    const std::size_t mark = trail_marks.back();
+    trail_marks.pop_back();
+    while (trail.size() > mark) {
+      domain[trail.back().first] = trail.back().second;
+      trail.pop_back();
+    }
+  }
+
+  bool search() {
+    const std::size_t best = select_variable();
     if (best == csp.n) return true;  // all assigned
 
     Mask live = domain[best];
     while (live) {
-      if (++result.nodes_explored > node_cap) {
-        result.exhausted = false;
-        return false;
-      }
+      if (!charge_node()) return false;
       const int j = __builtin_ctzll(live);
       live &= live - 1;
-      trail_marks.push_back(trail.size());
-      assigned[best] = j;
-      const bool ok = propagate(best) && search();
+      const bool ok = assign(best, j) && search();
       if (ok) return true;
-      if (!result.exhausted) {
-        // Budget exceeded somewhere below: unwind without exploring more.
+      if (aborted) {
+        // Budget exceeded or race lost somewhere below: unwind without
+        // exploring more.
         assigned[best] = -1;
         return false;
       }
-      // Undo.
-      assigned[best] = -1;
-      const std::size_t mark = trail_marks.back();
-      trail_marks.pop_back();
-      while (trail.size() > mark) {
-        domain[trail.back().first] = trail.back().second;
-        trail.pop_back();
-      }
+      undo_to_mark(best);
     }
     return false;
   }
 };
+
+/// A disjoint chunk of the search space: the assignments (in order) leading
+/// to one node of the top of the MRV search tree.
+struct Prefix {
+  std::vector<std::pair<std::size_t, int>> assignments;  // (variable, value)
+};
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Parallelizing a search that dies within a few hundred nodes only pays
+// thread-spawn latency; tiny CSPs (low radii, solo/edge-only inputs) stay
+// sequential. Verdicts are unaffected — both engines are complete.
+constexpr std::size_t kMinVariablesForParallel = 10;
+
+void run_sequential(const Csp& csp, const MapSearchOptions& options,
+                    MapSearchResult& result) {
+  SharedSearch shared;
+  Solver solver(csp, shared, options.node_cap, options.dynamic_ordering);
+  const bool found = solver.search();
+  result.nodes_explored = shared.nodes.load();
+  result.exhausted = !shared.cap_hit.load();
+  if (found) {
+    result.found = true;
+    for (std::size_t i = 0; i < csp.n; ++i) {
+      result.map.set(csp.vertex[i],
+                     csp.values[i][static_cast<std::size_t>(solver.assigned[i])]);
+    }
+  }
+}
+
+void run_parallel(const Csp& csp, const MapSearchOptions& options, int threads,
+                  MapSearchResult& result) {
+  SharedSearch shared;
+
+  // Phase 1 — split work: expand the top of the search tree breadth-first
+  // into at least ~4 prefixes per worker. Expansion replays each prefix on
+  // a scratch solver; dead prefixes (propagation wipe-out) are pruned here,
+  // and a prefix that happens to assign every variable is already a map.
+  const std::size_t target_jobs =
+      std::max<std::size_t>(static_cast<std::size_t>(threads) * 4, 8);
+  constexpr std::size_t kMaxPrefixDepth = 6;
+  std::deque<Prefix> open;
+  open.push_back({});
+  std::vector<Prefix> jobs;
+  while (!open.empty()) {
+    if (open.size() + jobs.size() >= target_jobs) break;
+    Prefix p = std::move(open.front());
+    open.pop_front();
+    if (p.assignments.size() >= kMaxPrefixDepth) {
+      jobs.push_back(std::move(p));
+      continue;
+    }
+    Solver scratch(csp, shared, options.node_cap, options.dynamic_ordering);
+    bool dead = false;
+    for (const auto& [var, j] : p.assignments) {
+      if (!scratch.charge_node() || !scratch.assign(var, j)) {
+        dead = true;
+        break;
+      }
+    }
+    if (scratch.aborted) {
+      // Node cap exhausted during splitting — report like the sequential
+      // engine would: inconclusive, nothing found.
+      result.nodes_explored = shared.nodes.load();
+      result.exhausted = false;
+      return;
+    }
+    if (dead) continue;  // empty subtree: exhausted by propagation alone
+    const std::size_t var = scratch.select_variable();
+    if (var == csp.n) {
+      // The prefix is itself a complete assignment.
+      result.found = true;
+      result.exhausted = true;
+      result.nodes_explored = shared.nodes.load();
+      for (std::size_t i = 0; i < csp.n; ++i) {
+        result.map.set(
+            csp.vertex[i],
+            csp.values[i][static_cast<std::size_t>(scratch.assigned[i])]);
+      }
+      return;
+    }
+    Mask live = scratch.domain[var];
+    while (live) {
+      const int j = __builtin_ctzll(live);
+      live &= live - 1;
+      Prefix child = p;
+      child.assignments.emplace_back(var, j);
+      open.push_back(std::move(child));
+    }
+  }
+  for (Prefix& p : open) jobs.push_back(std::move(p));
+  if (jobs.empty()) {
+    // Every branch of the top of the tree wiped out: proof of non-existence.
+    result.nodes_explored = shared.nodes.load();
+    result.exhausted = true;
+    return;
+  }
+
+  // Phase 2 — race: workers pull prefixes off a shared deque and run each
+  // subtree to completion; the first map (or the cap) flips the stop flag
+  // and everyone unwinds.
+  std::atomic<std::size_t> next_job{0};
+  auto worker = [&]() {
+    while (!shared.stop.load(std::memory_order_relaxed)) {
+      const std::size_t idx =
+          next_job.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= jobs.size()) return;
+      Solver solver(csp, shared, options.node_cap, options.dynamic_ordering);
+      bool dead = false;
+      for (const auto& [var, j] : jobs[idx].assignments) {
+        if (!solver.charge_node() || !solver.assign(var, j)) {
+          dead = true;
+          break;
+        }
+      }
+      if (solver.aborted) return;
+      if (dead) continue;
+      if (solver.search()) {
+        std::lock_guard<std::mutex> lock(shared.winner_mutex);
+        if (!shared.found.load()) {
+          shared.found.store(true);
+          shared.winner = solver.assigned;
+        }
+        shared.stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (solver.aborted) return;
+    }
+  };
+  const std::size_t worker_count =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  result.nodes_explored = shared.nodes.load();
+  if (shared.found.load()) {
+    result.found = true;
+    result.exhausted = true;
+    for (std::size_t i = 0; i < csp.n; ++i) {
+      result.map.set(csp.vertex[i],
+                     csp.values[i][static_cast<std::size_t>(shared.winner[i])]);
+    }
+  } else {
+    result.exhausted = !shared.cap_hit.load();
+  }
+}
 
 }  // namespace
 
@@ -252,21 +506,21 @@ MapSearchResult find_decision_map(const VertexPool& pool,
                                   const SubdividedComplex& domain, const Task& task,
                                   const MapSearchOptions& options) {
   MapSearchResult result;
-  const Csp csp = build_csp(pool, domain, task, options.chromatic);
+  DeltaImageCache local_images;
+  DeltaImageCache& images =
+      options.image_cache != nullptr ? *options.image_cache : local_images;
+  const Csp csp = build_csp(pool, domain, task, options.chromatic, images);
   if (csp.n == 0) {
     result.found = true;
     return result;
   }
   if (csp.trivially_unsat) return result;
 
-  Solver solver(csp, result, options.node_cap);
-  solver.dynamic_ordering = options.dynamic_ordering;
-  if (solver.search()) {
-    for (std::size_t i = 0; i < csp.n; ++i) {
-      result.map.set(csp.vertex[i],
-                     csp.values[i][static_cast<std::size_t>(solver.assigned[i])]);
-    }
-    result.found = true;
+  const int threads = resolve_threads(options.threads);
+  if (threads > 1 && csp.n >= kMinVariablesForParallel) {
+    run_parallel(csp, options, threads, result);
+  } else {
+    run_sequential(csp, options, result);
   }
   return result;
 }

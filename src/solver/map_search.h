@@ -18,12 +18,79 @@
 // vertices of the wrong color.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "tasks/task.h"
 #include "topology/chromatic.h"
 #include "topology/subdivision.h"
 
 namespace trichroma {
+
+/// Memo of Δ-image complexes keyed by carrier simplex, shared across
+/// `find_decision_map` calls. Building the CSP materializes
+/// `delta.image_complex(carrier)` for every subdivision vertex/edge/triangle
+/// carrier; the distinct carriers are simplices of the *base* complex, so
+/// the same handful of images is rebuilt at every radius and again for each
+/// probe mode (chromatic / color-agnostic share Δ). One cache per carrier
+/// map: keys are input simplices, so reusing a cache across different Δs
+/// would alias. Returned pointers stay valid for the cache's lifetime.
+///
+/// The cache also memoizes the *edge compatibility bitmasks* derived from
+/// the images. A CSP variable's candidate list is fully determined by
+/// (Δ(carrier(v)), color(v), chromatic?), so every subdivision edge with the
+/// same (edge image, endpoint images, endpoint colors) triple compiles to
+/// the same pair of mask tables — at radius r almost all of the 13^r-growth
+/// edge population collapses onto a handful of classes, and the same classes
+/// recur at every radius. Keys are the interned image pointers, which is why
+/// the mask memo lives here: it is only valid alongside the image memo that
+/// keeps those pointers stable.
+///
+/// Not thread-safe; the CSP is compiled single-threaded.
+class DeltaImageCache {
+ public:
+  const SimplicialComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
+
+  std::size_t size() const { return cache_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return cache_.size(); }
+
+  /// Identity of one compiled edge constraint (see class comment). Colors
+  /// are the endpoints' colors in chromatic mode, kNoColor otherwise.
+  struct EdgeClass {
+    const SimplicialComplex* allowed;  // Δ(carrier(edge))
+    const SimplicialComplex* image_a;  // Δ(carrier(a))
+    const SimplicialComplex* image_b;  // Δ(carrier(b))
+    Color color_a;
+    Color color_b;
+
+    bool operator==(const EdgeClass&) const = default;
+  };
+  /// Per-value compatibility bitmasks for one edge class: `ab[i]` masks the
+  /// b-values compatible with a-value i, `ba[j]` vice versa.
+  struct EdgeMasks {
+    std::vector<std::uint64_t> ab, ba;
+  };
+
+  /// Memoized masks for `key`, or nullptr. Pointers stay valid for the
+  /// cache's lifetime.
+  const EdgeMasks* find_edge_masks(const EdgeClass& key) const;
+  const EdgeMasks* store_edge_masks(const EdgeClass& key, EdgeMasks masks);
+  std::size_t edge_mask_hits() const { return mask_hits_; }
+  std::size_t edge_mask_misses() const { return masks_.size(); }
+
+ private:
+  struct EdgeClassHash {
+    std::size_t operator()(const EdgeClass& k) const noexcept;
+  };
+
+  std::unordered_map<Simplex, std::unique_ptr<SimplicialComplex>, SimplexHash> cache_;
+  std::unordered_map<EdgeClass, std::unique_ptr<EdgeMasks>, EdgeClassHash> masks_;
+  std::size_t hits_ = 0;
+  mutable std::size_t mask_hits_ = 0;
+};
 
 struct MapSearchOptions {
   bool chromatic = true;
@@ -34,12 +101,24 @@ struct MapSearchOptions {
   /// back to static order — kept as an ablation knob (see bench_ablation);
   /// both orders are complete, MRV is typically orders of magnitude faster.
   bool dynamic_ordering = true;
+  /// Worker threads for the search. 1 = the sequential backtracker;
+  /// 0 = hardware concurrency; N > 1 = work-splitting parallel search (the
+  /// top MRV decision prefixes are raced by a thread pool with early
+  /// cancellation). Determinism contract: for identical inputs every thread
+  /// count returns the same found/exhausted verdict whenever the search
+  /// completes within the node cap; the witness map may differ across
+  /// thread counts but always passes validate_decision_map.
+  int threads = 1;
+  /// Optional cross-call Δ-image cache (see DeltaImageCache). Borrowed, may
+  /// be null (a per-call cache is used); must be dedicated to `task.delta`.
+  DeltaImageCache* image_cache = nullptr;
 };
 
 struct MapSearchResult {
   bool found = false;
   bool exhausted = true;  ///< meaningful when !found: whole space explored
   VertexMap map;          ///< the decision map, when found
+  /// Backtracking nodes visited, aggregated across all workers.
   std::size_t nodes_explored = 0;
 };
 

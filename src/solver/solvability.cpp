@@ -1,5 +1,8 @@
 #include "solver/solvability.h"
 
+#include <string>
+#include <vector>
+
 namespace trichroma {
 
 const char* to_string(Verdict v) {
@@ -34,15 +37,17 @@ SolvabilityResult decide_two_process(const Task& task) {
 }
 
 MapSearchResult colorless_probe(const Task& task, int max_radius,
-                                std::size_t node_cap) {
+                                std::size_t node_cap, int threads) {
   MapSearchOptions options;
   options.chromatic = false;
   options.node_cap = node_cap;
+  options.threads = threads;
+  DeltaImageCache images;
+  options.image_cache = &images;
+  SubdivisionLadder ladder(*task.pool, task.input);
   MapSearchResult last;
   for (int r = 0; r <= max_radius; ++r) {
-    const SubdividedComplex domain =
-        chromatic_subdivision(*task.pool, task.input, r);
-    last = find_decision_map(*task.pool, domain, task, options);
+    last = find_decision_map(*task.pool, ladder.at(r), task, options);
     if (last.found) return last;
   }
   return last;
@@ -112,26 +117,46 @@ SolvabilityResult decide_solvability(const Task& task,
   }
 
   // --- Possibility side: direct chromatic decision-map search. ---
+  // Both probes on the original task walk the same subdivision tower and
+  // query the same Δ, so one ladder and one image cache serve every radius
+  // (and would serve a colorless probe on T too). T' below is a different
+  // task (own pool, own Δ), so it gets its own pair.
+  // When a probe stops on the node cap instead of exhausting its space, we
+  // record exactly which probe and radius were truncated so an Unknown
+  // verdict can say what was actually left undecided.
+  std::vector<std::string> capped;
   MapSearchOptions chromatic_options;
   chromatic_options.chromatic = true;
   chromatic_options.node_cap = options.node_cap;
-  bool all_exhausted = true;
+  chromatic_options.threads = options.threads;
+  DeltaImageCache images;
+  if (options.reuse_images) chromatic_options.image_cache = &images;
+  SubdivisionLadder ladder(*task.pool, task.input);
   for (int r = 0; r <= options.max_radius; ++r) {
-    SubdividedComplex domain = chromatic_subdivision(*task.pool, task.input, r);
+    SubdividedComplex cold;
+    const SubdividedComplex* domain;
+    if (options.reuse_subdivisions) {
+      domain = &ladder.at(r);
+    } else {
+      cold = chromatic_subdivision(*task.pool, task.input, r);
+      domain = &cold;
+    }
     MapSearchResult found =
-        find_decision_map(*task.pool, domain, task, chromatic_options);
+        find_decision_map(*task.pool, *domain, task, chromatic_options);
     if (found.found) {
       result.verdict = Verdict::Solvable;
       result.radius = r;
       result.has_chromatic_witness = true;
-      result.witness_domain = std::move(domain);
+      result.witness_domain = *domain;
       result.witness = std::move(found.map);
       result.reason = "chromatic decision map found on Ch^" + std::to_string(r) +
                       "(I) (" + std::to_string(found.nodes_explored) +
                       " search nodes)";
       return result;
     }
-    all_exhausted = all_exhausted && found.exhausted;
+    if (!found.exhausted) {
+      capped.push_back("chromatic probe at radius " + std::to_string(r));
+    }
   }
 
   // --- Possibility via the characterization: color-agnostic map into T'. ---
@@ -140,9 +165,20 @@ SolvabilityResult decide_solvability(const Task& task,
     MapSearchOptions agnostic;
     agnostic.chromatic = false;
     agnostic.node_cap = options.node_cap;
+    agnostic.threads = options.threads;
+    DeltaImageCache tp_images;
+    if (options.reuse_images) agnostic.image_cache = &tp_images;
+    SubdivisionLadder tp_ladder(*tp.pool, tp.input);
     for (int r = 0; r <= options.max_radius; ++r) {
-      SubdividedComplex domain = chromatic_subdivision(*tp.pool, tp.input, r);
-      MapSearchResult found = find_decision_map(*tp.pool, domain, tp, agnostic);
+      SubdividedComplex cold;
+      const SubdividedComplex* domain;
+      if (options.reuse_subdivisions) {
+        domain = &tp_ladder.at(r);
+      } else {
+        cold = chromatic_subdivision(*tp.pool, tp.input, r);
+        domain = &cold;
+      }
+      MapSearchResult found = find_decision_map(*tp.pool, *domain, tp, agnostic);
       if (found.found) {
         result.verdict = Verdict::Solvable;
         result.radius = r;
@@ -154,16 +190,26 @@ SolvabilityResult decide_solvability(const Task& task,
             "(I); solvable by Theorem 5.1 via the Figure-7 algorithm";
         return result;
       }
-      all_exhausted = all_exhausted && found.exhausted;
+      if (!found.exhausted) {
+        capped.push_back("T'-agnostic (colorless) probe at radius " +
+                         std::to_string(r));
+      }
     }
   }
 
   result.verdict = Verdict::Unknown;
-  result.reason = all_exhausted
-                      ? "no decision map up to radius " +
-                            std::to_string(options.max_radius) +
-                            " and no obstruction found"
-                      : "search budget exhausted before a conclusion";
+  if (capped.empty()) {
+    result.reason = "no decision map up to radius " +
+                    std::to_string(options.max_radius) +
+                    " and no obstruction found";
+  } else {
+    std::string which;
+    for (const std::string& probe : capped) {
+      which += (which.empty() ? "" : "; ") + probe;
+    }
+    result.reason = "search budget exhausted before a conclusion (node cap " +
+                    std::to_string(options.node_cap) + " hit by: " + which + ")";
+  }
   return result;
 }
 

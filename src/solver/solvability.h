@@ -48,6 +48,16 @@ struct SolvabilityOptions {
   /// Also try the characterization route (split + color-agnostic search)
   /// when the direct chromatic search fails.
   bool use_characterization = true;
+  /// Worker threads for every decision-map search (see
+  /// MapSearchOptions::threads). 0 = hardware concurrency, 1 = sequential.
+  /// The verdict is identical for every thread count.
+  int threads = 0;
+  /// Memoize Ch^r across the radius ladder (SubdivisionLadder) instead of
+  /// recomputing every round from scratch at each radius. Off is only
+  /// useful for benchmarking the cold path.
+  bool reuse_subdivisions = true;
+  /// Share Δ-image complexes across radii and probe modes (DeltaImageCache).
+  bool reuse_images = true;
 };
 
 struct SolvabilityResult {
@@ -83,6 +93,7 @@ SolvabilityResult decide_two_process(const Task& task);
 /// itself (not T'). Used to demonstrate the hourglass phenomenon: the
 /// colorless ACT condition can hold while the chromatic task is unsolvable.
 MapSearchResult colorless_probe(const Task& task, int max_radius,
-                                std::size_t node_cap = 20'000'000);
+                                std::size_t node_cap = 20'000'000,
+                                int threads = 0);
 
 }  // namespace trichroma

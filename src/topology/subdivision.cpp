@@ -107,4 +107,13 @@ SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComple
   return cur;
 }
 
+const SubdividedComplex& SubdivisionLadder::at(int r) {
+  assert(r >= 0);
+  if (levels_.empty()) levels_.push_back(identity_subdivision(base_));
+  while (max_computed() < r) {
+    levels_.push_back(subdivide_once(pool_, levels_.back()));
+  }
+  return levels_[static_cast<std::size_t>(r)];
+}
+
 }  // namespace trichroma

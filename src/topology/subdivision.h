@@ -15,6 +15,7 @@
 // connects subdivisions to carrier maps: a simplicial map f from Ch^r(I) is
 // "carried by Δ" iff f(ξ) ∈ Δ(carrier(ξ)) for every simplex ξ.
 
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -49,5 +50,33 @@ SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComple
 /// ordered). For |items| = 3 there are 13. Deterministic order.
 std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
     const std::vector<VertexId>& items);
+
+/// Incremental cache of the subdivision tower Ch^0, Ch^1, Ch^2, ... of one
+/// base complex. `chromatic_subdivision(pool, base, r)` recomputes every
+/// round from scratch; callers probing a radius ladder (the solvability
+/// engine tries r = 0, 1, 2, ... up to three times per task) instead ask a
+/// ladder, which derives Ch^{r+1} from the memoized Ch^r by a single
+/// `subdivide_once` step. Because subdivision vertices are interned in the
+/// shared pool by (color, view), the ladder's Ch^r is facet-for-facet equal
+/// to a cold `chromatic_subdivision(pool, base, r)`.
+///
+/// The ladder borrows the pool; it must not outlive it. Not thread-safe:
+/// `at` both grows the memo and interns vertices in the pool.
+class SubdivisionLadder {
+ public:
+  SubdivisionLadder(VertexPool& pool, SimplicialComplex base)
+      : pool_(pool), base_(std::move(base)) {}
+
+  /// Ch^r(base). References stay valid as the ladder grows (deque storage).
+  const SubdividedComplex& at(int r);
+
+  /// Highest radius memoized so far; -1 before the first `at` call.
+  int max_computed() const { return static_cast<int>(levels_.size()) - 1; }
+
+ private:
+  VertexPool& pool_;
+  SimplicialComplex base_;
+  std::deque<SubdividedComplex> levels_;  // levels_[r] == Ch^r(base_)
+};
 
 }  // namespace trichroma

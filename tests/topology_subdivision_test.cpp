@@ -111,6 +111,51 @@ TEST_F(SubdivisionTest, CarrierOfSimplexIsUnionOfVertexCarriers) {
   }
 }
 
+TEST_F(SubdivisionTest, LadderMatchesColdSubdivisionFacetForFacet) {
+  // The incremental ladder must agree with a from-scratch
+  // chromatic_subdivision at every radius: same complex (simplex-for-simplex
+  // via operator==, hence facet-for-facet) and same carriers.
+  const SimplicialComplex base = triangle();
+  SubdivisionLadder ladder(pool, base);
+  for (int r = 0; r <= 3; ++r) {
+    const SubdividedComplex cold = chromatic_subdivision(pool, base, r);
+    const SubdividedComplex& inc = ladder.at(r);
+    EXPECT_TRUE(inc.complex == cold.complex) << "radius " << r;
+    EXPECT_EQ(inc.carrier.size(), cold.carrier.size()) << "radius " << r;
+    for (const auto& [v, carrier] : cold.carrier) {
+      ASSERT_TRUE(inc.carrier.count(v) > 0) << "radius " << r;
+      EXPECT_EQ(inc.carrier.at(v), carrier) << "radius " << r;
+    }
+  }
+  EXPECT_EQ(ladder.max_computed(), 3);
+}
+
+TEST_F(SubdivisionTest, LadderLevelsAreStableAcrossGrowth) {
+  // References returned by at() must survive deeper levels being computed,
+  // and re-asking for a memoized level must not recompute (same address).
+  const SimplicialComplex base = triangle();
+  SubdivisionLadder ladder(pool, base);
+  const SubdividedComplex& level1 = ladder.at(1);
+  const std::size_t facets_before = level1.complex.count(2);
+  ladder.at(3);
+  EXPECT_EQ(level1.complex.count(2), facets_before);
+  EXPECT_EQ(&ladder.at(1), &level1);
+}
+
+TEST_F(SubdivisionTest, LadderOnMultiFacetBase) {
+  SimplicialComplex base;
+  const VertexId a = pool.vertex(0, 0), b = pool.vertex(1, 1), c = pool.vertex(2, 2),
+                 d = pool.vertex(0, 9);
+  base.add(Simplex{a, b, c});
+  base.add(Simplex{d, b, c});
+  SubdivisionLadder ladder(pool, base);
+  for (int r = 0; r <= 2; ++r) {
+    EXPECT_TRUE(ladder.at(r).complex ==
+                chromatic_subdivision(pool, base, r).complex)
+        << "radius " << r;
+  }
+}
+
 TEST_F(SubdivisionTest, SubdivisionOfTwoFacetComplexGluesOnSharedEdge) {
   SimplicialComplex base;
   const VertexId a = pool.vertex(0, 0), b = pool.vertex(1, 1), c = pool.vertex(2, 2),

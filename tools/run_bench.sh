@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark suite and writes machine-readable results to
+# BENCH_engine.json at the repo root (committed, so engine-perf changes show
+# up as a diff). Usage:
+#
+#   tools/run_bench.sh [build-dir] [extra google-benchmark flags...]
+#
+# e.g.  tools/run_bench.sh build --benchmark_filter=BM_DecisionMapSearch
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench="$build_dir/bench/bench_engine_perf"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found or not executable." >&2
+  echo "Build it first:  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j --target bench_engine_perf" >&2
+  exit 1
+fi
+
+out="$repo_root/BENCH_engine.json"
+"$bench" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
+  "$@"
+echo "wrote $out"

@@ -12,8 +12,10 @@
 // quickest way to get a template to edit.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <vector>
 
 #include "core/characterization.h"
 #include "io/task_format.h"
@@ -47,7 +49,7 @@ std::map<std::string, Task (*)()> demo_tasks() {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: trichroma <command> [args]\n"
+               "usage: trichroma [--threads N] <command> [args]\n"
                "  demo <name>        print a built-in task (see 'list')\n"
                "  list               list built-in tasks\n"
                "  check <file>       parse + validate\n"
@@ -55,7 +57,10 @@ int usage() {
                "  split <file>       canonicalize + split; print T'\n"
                "  synth <file>       print the synthesized protocol's decision table\n"
                "  dot <file> in|out  GraphViz for the input/output complex\n"
-               "  run <file> [seed]  synthesize and execute a protocol\n");
+               "  run <file> [seed]  synthesize and execute a protocol\n"
+               "options:\n"
+               "  --threads N        decision-map search workers (default:\n"
+               "                     hardware concurrency; 1 = sequential)\n");
   return 2;
 }
 
@@ -72,8 +77,10 @@ int cmd_check(const Task& task) {
   return 1;
 }
 
-int cmd_decide(const Task& task) {
-  const SolvabilityResult r = decide_solvability(task);
+int cmd_decide(const Task& task, int threads) {
+  SolvabilityOptions options;
+  options.threads = threads;
+  const SolvabilityResult r = decide_solvability(task, options);
   std::printf("%s", task.summary().c_str());
   std::printf("verdict: %s\n", to_string(r.verdict));
   std::printf("reason:  %s\n", r.reason.c_str());
@@ -98,10 +105,11 @@ int cmd_dot(const Task& task, const char* which) {
   return 0;
 }
 
-int cmd_synth(const Task& task) {
+int cmd_synth(const Task& task, int threads) {
   // Direct chromatic synthesis: find a decision map and print it as the
   // wait-free protocol it encodes.
   SolvabilityOptions options;
+  options.threads = threads;
   const SolvabilityResult r = decide_solvability(task, options);
   if (r.verdict != Verdict::Solvable || !r.has_chromatic_witness) {
     std::printf("verdict: %s — nothing to synthesize\nreason: %s\n",
@@ -164,6 +172,26 @@ int cmd_run(const Task& task, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global options first; everything else is positional.
+  int threads = 0;  // 0 = hardware concurrency
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "error: --threads expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      threads = static_cast<int>(n);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
@@ -188,8 +216,8 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage();
     const Task task = load(argv[2]);
     if (command == "check") return cmd_check(task);
-    if (command == "synth") return cmd_synth(task);
-    if (command == "decide") return cmd_decide(task);
+    if (command == "synth") return cmd_synth(task, threads);
+    if (command == "decide") return cmd_decide(task, threads);
     if (command == "split") return cmd_split(task);
     if (command == "dot") {
       if (argc != 4) return usage();
