@@ -1,0 +1,94 @@
+// Racing scheduler vs the sequential ladder: per-task wall-clock of
+// run_pipeline at threads = 1 (the classic ladder order) against threads = 2
+// (impossibility lane racing the chromatic probe). The win concentrates on
+// the solvable subset — the sequential ladder pays for canonicalize + split
+// + corollaries before the probe even starts, while the racing scheduler
+// lets a radius-0 witness cancel all of that.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "solver/pipeline.h"
+#include "tasks/zoo.h"
+
+namespace {
+
+using namespace trichroma;
+
+double time_pipeline(const Task& task, int threads) {
+  SolvabilityOptions options;
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const PipelineResult r = run_pipeline(task, options);
+  benchmark::DoNotOptimize(r.report.verdict);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void reproduce() {
+  benchutil::header("Racing scheduler",
+                    "sequential ladder (threads=1) vs racing (threads=2)");
+  std::printf("%-24s %-12s %12s %12s %9s\n", "task", "verdict", "seq ms",
+              "race ms", "speedup");
+  double seq_solvable = 0.0, race_solvable = 0.0;
+  double seq_total = 0.0, race_total = 0.0;
+  for (const zoo::CatalogEntry& entry : zoo::catalog()) {
+    const Task task = entry.build();
+    // Warm once (first touch pays one-off allocator/pool costs), then take
+    // the best of three per mode.
+    double seq = 1e300, race = 1e300;
+    time_pipeline(task, 1);
+    for (int i = 0; i < 3; ++i) {
+      seq = std::min(seq, time_pipeline(entry.build(), 1));
+      race = std::min(race, time_pipeline(entry.build(), 2));
+    }
+    SolvabilityOptions options;
+    options.threads = 1;
+    const Verdict verdict = run_pipeline(task, options).report.verdict;
+    if (verdict == Verdict::Solvable) {
+      seq_solvable += seq;
+      race_solvable += race;
+    }
+    seq_total += seq;
+    race_total += race;
+    std::printf("%-24s %-12s %12.2f %12.2f %8.2fx\n", entry.name,
+                to_string(verdict), seq, race, seq / race);
+  }
+  std::printf("%-24s %-12s %12.2f %12.2f %8.2fx\n", "TOTAL (solvable)", "",
+              seq_solvable, race_solvable, seq_solvable / race_solvable);
+  std::printf("%-24s %-12s %12.2f %12.2f %8.2fx\n", "TOTAL (all)", "",
+              seq_total, race_total, seq_total / race_total);
+}
+
+void BM_SequentialLadderSolvableSubset(benchmark::State& state) {
+  for (auto _ : state) {
+    for (Task (*build)() : {zoo::identity_task, +[] { return zoo::fan_task(6); },
+                            zoo::fig3_running_example}) {
+      SolvabilityOptions options;
+      options.threads = 1;
+      benchmark::DoNotOptimize(run_pipeline(build(), options).report.verdict);
+    }
+  }
+}
+BENCHMARK(BM_SequentialLadderSolvableSubset)->Unit(benchmark::kMillisecond);
+
+void BM_RacingSolvableSubset(benchmark::State& state) {
+  for (auto _ : state) {
+    for (Task (*build)() : {zoo::identity_task, +[] { return zoo::fan_task(6); },
+                            zoo::fig3_running_example}) {
+      SolvabilityOptions options;
+      options.threads = 2;
+      benchmark::DoNotOptimize(run_pipeline(build(), options).report.verdict);
+    }
+  }
+}
+BENCHMARK(BM_RacingSolvableSubset)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return trichroma::benchutil::bench_main(argc, argv, reproduce);
+}

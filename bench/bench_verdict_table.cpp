@@ -14,30 +14,8 @@ void reproduce() {
   benchutil::header("Verdict table", "the full decision procedure on the zoo");
   std::printf("%-32s %-12s %7s %6s %s\n", "task", "verdict", "radius", "viaT'",
               "reason");
-  const std::vector<Task> tasks = {
-      zoo::identity_task(),
-      zoo::renaming(5),
-      zoo::subdivision_task(0),
-      zoo::subdivision_task(1),
-      zoo::approximate_agreement(2),
-      zoo::fan_task(6),
-      zoo::fig3_running_example(),
-      zoo::loop_agreement_filled_triangle(),
-      zoo::consensus(3),
-      zoo::set_agreement_32(),
-      zoo::majority_consensus(),
-      zoo::hourglass(),
-      zoo::pinwheel(),
-      zoo::loop_agreement_hollow_triangle(),
-      zoo::loop_agreement_torus(),
-      zoo::loop_agreement_projective_plane(),
-      zoo::twisted_hourglass(),
-      zoo::test_and_set(3),
-      zoo::weak_symmetry_breaking(3),
-      zoo::consensus_2(),
-      zoo::approximate_agreement_2(2),
-  };
-  for (const Task& t : tasks) {
+  for (const zoo::CatalogEntry& entry : zoo::catalog()) {
+    const Task t = entry.build();
     const SolvabilityResult r = decide_solvability(t);
     std::printf("%-32s %-12s %7d %6s %.70s\n", t.name.c_str(),
                 to_string(r.verdict), r.radius,

@@ -248,8 +248,10 @@ struct CornerSearch {
   std::vector<std::vector<std::size_t>> edges_touching;
 
   std::size_t nodes_explored = 0;
-  std::size_t node_cap = 2'000'000;
+  std::size_t node_cap = kDefaultCornerNodeCap;
+  const std::atomic<bool>* cancel = nullptr;
   bool exhausted = true;
+  bool cancelled = false;
 
   explicit CornerSearch(const Task& t) : task(t) {
     inputs = task.input.vertex_ids();
@@ -293,6 +295,11 @@ struct CornerSearch {
         exhausted = false;
         return false;
       }
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        exhausted = false;
+        cancelled = true;
+        return false;
+      }
       assign[i] = candidate;
       bool ok = true;
       for (std::size_t k : edges_touching[i]) {
@@ -315,9 +322,12 @@ struct CornerSearch {
 
 }  // namespace
 
-ConnectivityCsp connectivity_csp(const Task& task) {
+ConnectivityCsp connectivity_csp(const Task& task, std::size_t node_cap,
+                                 const std::atomic<bool>* cancel) {
   ConnectivityCsp result;
   CornerSearch search(task);
+  search.node_cap = node_cap;
+  search.cancel = cancel;
   const bool found = search.search([&](const std::vector<VertexId>& assign) {
     for (std::size_t i = 0; i < search.inputs.size(); ++i) {
       result.witness.emplace(search.inputs[i], assign[i]);
@@ -326,6 +336,8 @@ ConnectivityCsp connectivity_csp(const Task& task) {
   });
   result.feasible = found;
   result.exhausted = search.exhausted;
+  result.cancelled = search.cancelled;
+  result.nodes_explored = search.nodes_explored;
   if (!found) {
     result.detail = search.exhausted
                         ? "no corner assignment is component-consistent on "
@@ -336,9 +348,13 @@ ConnectivityCsp connectivity_csp(const Task& task) {
 }
 
 HomologyObstruction homology_boundary_check(const Task& task,
-                                            const std::vector<long long>& primes) {
+                                            const std::vector<long long>& primes,
+                                            std::size_t node_cap,
+                                            const std::atomic<bool>* cancel) {
   HomologyObstruction result;
   CornerSearch search(task);
+  search.node_cap = node_cap;
+  search.cancel = cancel;
   const VertexPool& pool = *task.pool;
 
   // Pre-compute, per input facet, its boundary edges in cyclic order
@@ -414,6 +430,8 @@ HomologyObstruction homology_boundary_check(const Task& task,
   });
   result.feasible = found;
   result.exhausted = search.exhausted;
+  result.cancelled = search.cancelled;
+  result.nodes_explored = search.nodes_explored;
   if (!found) {
     result.detail = last_failure.empty()
                         ? "no corner assignment passes the connectivity CSP"

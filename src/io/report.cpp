@@ -1,0 +1,186 @@
+#include "io/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace trichroma::io {
+
+namespace {
+
+std::string quote(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+std::string bool_str(bool b) { return b ? "true" : "false"; }
+
+// Tiny builder so the emitter stays declarative: fields are appended in
+// order, commas and indentation handled in one place.
+class Builder {
+ public:
+  std::string finish() && { return std::move(out_); }
+
+  void open(const std::string& key, char bracket) {
+    begin_value(key);
+    out_ += bracket;
+    out_ += '\n';
+    ++depth_;
+    first_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    if (first_) {
+      // Nothing was emitted: collapse to "{}" / "[]" on the opening line.
+      out_.pop_back();
+    } else {
+      out_ += '\n';
+      indent();
+    }
+    out_ += bracket;
+    first_ = false;
+  }
+  void field(const std::string& key, const std::string& rendered) {
+    begin_value(key);
+    out_ += rendered;
+  }
+
+ private:
+  void begin_value(const std::string& key) {
+    if (!first_) out_ += ",\n";
+    first_ = false;
+    indent();
+    if (!key.empty()) out_ += quote(key) + ": ";
+  }
+  void indent() { out_.append(static_cast<std::size_t>(depth_) * 2, ' '); }
+
+  std::string out_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void emit_engine(Builder& b, const EngineReport& e,
+                 const ReportJsonOptions& options) {
+  b.open("", '{');
+  b.field("name", quote(e.name));
+  b.field("side", quote(to_string(e.side)));
+  b.field("status", quote(to_string(e.status)));
+  b.field("precedence", std::to_string(e.precedence));
+  b.field("verdict", e.status == EngineStatus::Conclusive
+                         ? quote(to_string(e.verdict))
+                         : "null");
+  b.field("reason", quote(e.reason));
+  b.field("detail", quote(e.detail));
+  b.field("radius_reached", std::to_string(e.radius_reached));
+  b.field("witness_radius", std::to_string(e.witness_radius));
+  b.field("nodes_explored", std::to_string(e.nodes_explored));
+  b.open("image_cache", '{');
+  b.field("hits", std::to_string(e.image_cache_hits));
+  b.field("misses", std::to_string(e.image_cache_misses));
+  b.close('}');
+  b.open("edge_masks", '{');
+  b.field("hits", std::to_string(e.edge_mask_hits));
+  b.field("misses", std::to_string(e.edge_mask_misses));
+  b.close('}');
+  b.open("capped", '[');
+  for (const std::string& c : e.capped) b.field("", quote(c));
+  b.close(']');
+  b.field("wall_ms", num(options.redact_timings ? 0.0 : e.wall_ms));
+  b.close('}');
+}
+
+}  // namespace
+
+const char* report_schema() { return "trichroma.pipeline-report/1"; }
+
+std::string to_json(const PipelineReport& report,
+                    const ReportJsonOptions& options) {
+  Builder b;
+  b.open("", '{');
+  b.field("schema", quote(report_schema()));
+
+  b.open("task", '{');
+  b.field("name", quote(report.task_name));
+  b.field("num_processes", std::to_string(report.num_processes));
+  b.field("input_facets", std::to_string(report.input_facets));
+  b.field("output_facets", std::to_string(report.output_facets));
+  b.close('}');
+
+  b.open("options", '{');
+  b.field("max_radius", std::to_string(report.options.max_radius));
+  b.field("node_cap", std::to_string(report.options.node_cap));
+  b.field("use_characterization",
+          bool_str(report.options.use_characterization));
+  b.field("threads", std::to_string(report.options.threads));
+  b.field("threads_resolved", std::to_string(report.threads_resolved));
+  b.field("reuse_subdivisions", bool_str(report.options.reuse_subdivisions));
+  b.field("reuse_images", bool_str(report.options.reuse_images));
+  b.close('}');
+
+  b.field("verdict", quote(to_string(report.verdict)));
+  b.field("reason", quote(report.reason));
+  b.field("radius", std::to_string(report.radius));
+  b.field("via_characterization", bool_str(report.via_characterization));
+  b.field("total_wall_ms",
+          num(options.redact_timings ? 0.0 : report.total_wall_ms));
+
+  b.open("engines", '[');
+  for (const EngineReport& e : report.engines) emit_engine(b, e, options);
+  b.close(']');
+
+  b.close('}');
+  std::string out = std::move(b).finish();
+  out += '\n';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+}  // namespace trichroma::io

@@ -1,0 +1,62 @@
+#pragma once
+// Structured JSON rendering of a pipeline run (solver/pipeline.h).
+//
+// The schema is versioned: every document carries
+//   "schema": "trichroma.pipeline-report/1"
+// and consumers should dispatch on it. Version 1:
+//
+//   {
+//     "schema": "trichroma.pipeline-report/1",
+//     "task": { "name", "num_processes", "input_facets", "output_facets" },
+//     "options": { "max_radius", "node_cap", "use_characterization",
+//                  "threads", "threads_resolved",
+//                  "reuse_subdivisions", "reuse_images" },
+//     "verdict": "SOLVABLE" | "UNSOLVABLE" | "UNKNOWN",
+//     "reason": string,
+//     "radius": int,                  // -1 when no map search witness
+//     "via_characterization": bool,
+//     "total_wall_ms": number,
+//     "engines": [ {
+//       "name", "side", "status", "precedence",
+//       "verdict": string | null,     // only conclusive engines
+//       "reason", "detail",
+//       "radius_reached", "witness_radius",
+//       "nodes_explored",
+//       "image_cache": { "hits", "misses" },
+//       "edge_masks": { "hits", "misses" },
+//       "capped": [ string ],
+//       "wall_ms": number
+//     } ]
+//   }
+//
+// The emitter is hand-rolled (no third-party JSON dependency) and produces
+// deterministic, stably ordered output — with `redact_timings` the document
+// is byte-for-byte reproducible at threads = 1, which is what the golden
+// test pins.
+
+#include <string>
+
+#include "solver/pipeline.h"
+
+namespace trichroma::io {
+
+struct ReportJsonOptions {
+  /// Zero every wall-clock field, for golden-file comparisons.
+  bool redact_timings = false;
+};
+
+/// The schema identifier emitted by (this version of) to_json.
+const char* report_schema();
+
+/// Renders `report` as pretty-printed JSON (2-space indent, trailing
+/// newline).
+std::string to_json(const PipelineReport& report,
+                    const ReportJsonOptions& options = {});
+
+/// Escapes a string for embedding in JSON (without the surrounding quotes).
+std::string json_escape(const std::string& s);
+
+/// Writes `content` to `path`, throwing std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace trichroma::io

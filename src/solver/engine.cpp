@@ -1,0 +1,311 @@
+#include "solver/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "topology/subdivision.h"
+
+namespace trichroma {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Solvable:
+      return "SOLVABLE";
+    case Verdict::Unsolvable:
+      return "UNSOLVABLE";
+    case Verdict::Unknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+const char* to_string(EngineSide s) {
+  switch (s) {
+    case EngineSide::Exact:
+      return "exact";
+    case EngineSide::Impossibility:
+      return "impossibility";
+    case EngineSide::Possibility:
+      return "possibility";
+    case EngineSide::Support:
+      return "support";
+  }
+  return "?";
+}
+
+const char* to_string(EngineStatus s) {
+  switch (s) {
+    case EngineStatus::Conclusive:
+      return "conclusive";
+    case EngineStatus::Inconclusive:
+      return "inconclusive";
+    case EngineStatus::Completed:
+      return "completed";
+    case EngineStatus::Cancelled:
+      return "cancelled";
+    case EngineStatus::Skipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+EngineReport AnalysisEngine::skipped() const {
+  EngineReport report;
+  report.name = name();
+  report.side = side();
+  report.precedence = precedence();
+  report.status = EngineStatus::Skipped;
+  return report;
+}
+
+EngineReport AnalysisEngine::run(const EngineBudget& budget,
+                                 const CancellationToken& token) {
+  EngineReport report = skipped();
+  if (token.stop_requested()) {
+    report.status = EngineStatus::Cancelled;
+    return report;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  execute(budget, token, report);
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  return report;
+}
+
+void TwoProcessEngine::execute(const EngineBudget& budget,
+                               const CancellationToken& token,
+                               EngineReport& report) {
+  const ConnectivityCsp csp =
+      connectivity_csp(task_, budget.node_cap, token.flag());
+  report.nodes_explored = csp.nodes_explored;
+  report.detail = csp.detail;
+  if (csp.cancelled) {
+    report.status = EngineStatus::Cancelled;
+    return;
+  }
+  if (csp.feasible) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Solvable;
+    report.reason =
+        "Proposition 5.4: a corner assignment with connected edge images "
+        "exists, giving a continuous map |I| -> |O| carried by Δ";
+  } else if (csp.exhausted) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason =
+        "Proposition 5.4: no continuous map |I| -> |O| carried by Δ (" +
+        csp.detail + ")";
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+void GenericConnectivityEngine::execute(const EngineBudget& budget,
+                                        const CancellationToken& token,
+                                        EngineReport& report) {
+  const ConnectivityCsp csp =
+      connectivity_csp(task_, budget.node_cap, token.flag());
+  report.nodes_explored = csp.nodes_explored;
+  report.detail = csp.detail;
+  if (csp.cancelled) {
+    report.status = EngineStatus::Cancelled;
+    return;
+  }
+  if (!csp.feasible && csp.exhausted) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason =
+        "connectivity obstruction (n-process generic engine): " + csp.detail;
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+void CharacterizeEngine::execute(const EngineBudget& /*budget*/,
+                                 const CancellationToken& /*token*/,
+                                 EngineReport& report) {
+  result_ = std::make_shared<CharacterizationResult>(characterize(task_));
+  report.status = EngineStatus::Completed;
+  report.detail = result_->report(*task_.pool);
+}
+
+void Corollary55Engine::execute(const EngineBudget& /*budget*/,
+                                const CancellationToken& /*token*/,
+                                EngineReport& report) {
+  result_ = corollary_5_5(tstar_);
+  report.detail = result_.detail;
+  if (result_.fires) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason = "Corollary 5.5 on T*: " + result_.detail;
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+void Corollary56Engine::execute(const EngineBudget& /*budget*/,
+                                const CancellationToken& /*token*/,
+                                EngineReport& report) {
+  result_ = corollary_5_6(tstar_);
+  report.detail = result_.detail;
+  if (result_.fires) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason = "Corollary 5.6 on T*: " + result_.detail;
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+void PostSplitCspEngine::execute(const EngineBudget& budget,
+                                 const CancellationToken& token,
+                                 EngineReport& report) {
+  const ConnectivityCsp csp = connectivity_csp(tp_, budget.node_cap, token.flag());
+  report.nodes_explored = csp.nodes_explored;
+  report.detail = csp.detail;
+  if (csp.cancelled) {
+    report.status = EngineStatus::Cancelled;
+    return;
+  }
+  if (!csp.feasible && csp.exhausted) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason =
+        "post-split connectivity obstruction on T' (Theorem 5.1 + "
+        "Corollary 5.5 shape): " +
+        csp.detail;
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+void HomologyEngine::execute(const EngineBudget& budget,
+                             const CancellationToken& token,
+                             EngineReport& report) {
+  const HomologyObstruction hom =
+      homology_boundary_check(tp_, {2, 3}, budget.node_cap, token.flag());
+  report.nodes_explored = hom.nodes_explored;
+  report.detail = hom.detail;
+  if (hom.cancelled) {
+    report.status = EngineStatus::Cancelled;
+    return;
+  }
+  if (!hom.feasible && hom.exhausted) {
+    report.status = EngineStatus::Conclusive;
+    report.verdict = Verdict::Unsolvable;
+    report.reason =
+        "post-split homological obstruction on T' (no continuous map "
+        "|I| -> |O'| carried by Δ'): " +
+        hom.detail;
+  } else {
+    report.status = EngineStatus::Inconclusive;
+  }
+}
+
+namespace {
+
+const char* capped_label(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::DirectChromatic:
+      return "chromatic probe at radius ";
+    case ProbeKind::LinkConnectedAgnostic:
+      return "T'-agnostic (colorless) probe at radius ";
+    case ProbeKind::ColorlessDirect:
+      return "colorless probe at radius ";
+  }
+  return "probe at radius ";
+}
+
+std::string found_reason(ProbeKind kind, int radius) {
+  const std::string r = std::to_string(radius);
+  switch (kind) {
+    case ProbeKind::DirectChromatic:
+      return "chromatic decision map found on Ch^" + r + "(I)";
+    case ProbeKind::LinkConnectedAgnostic:
+      return "color-agnostic decision map found on the link-connected task "
+             "T' at Ch^" +
+             r + "(I); solvable by Theorem 5.1 via the Figure-7 algorithm";
+    case ProbeKind::ColorlessDirect:
+      return "color-agnostic decision map found on Ch^" + r + "(I)";
+  }
+  return "decision map found at radius " + r;
+}
+
+}  // namespace
+
+const char* ProbeEngine::name() const {
+  switch (kind_) {
+    case ProbeKind::DirectChromatic:
+      return "chromatic-probe";
+    case ProbeKind::LinkConnectedAgnostic:
+      return "tp-agnostic-probe";
+    case ProbeKind::ColorlessDirect:
+      return "colorless-probe";
+  }
+  return "probe";
+}
+
+int ProbeEngine::precedence() const {
+  switch (kind_) {
+    case ProbeKind::DirectChromatic:
+      return engine_precedence::kChromaticProbe;
+    case ProbeKind::LinkConnectedAgnostic:
+      return engine_precedence::kAgnosticProbe;
+    case ProbeKind::ColorlessDirect:
+      return engine_precedence::kColorlessProbe;
+  }
+  return engine_precedence::kColorlessProbe;
+}
+
+void ProbeEngine::execute(const EngineBudget& budget,
+                          const CancellationToken& token, EngineReport& report) {
+  MapSearchOptions options;
+  options.chromatic = (kind_ == ProbeKind::DirectChromatic);
+  options.node_cap = budget.node_cap;
+  options.threads = budget.threads;
+  options.cancel = token.flag();
+  DeltaImageCache images;
+  if (budget.reuse_images) options.image_cache = &images;
+  SubdivisionLadder ladder(*task_.pool, task_.input);
+
+  report.status = EngineStatus::Inconclusive;
+  for (int r = 0; r <= budget.max_radius; ++r) {
+    if (token.stop_requested()) {
+      report.status = EngineStatus::Cancelled;
+      break;
+    }
+    std::shared_ptr<const SubdividedComplex> domain =
+        budget.reuse_subdivisions
+            ? ladder.share(r)
+            : std::make_shared<const SubdividedComplex>(
+                  chromatic_subdivision(*task_.pool, task_.input, r));
+    last_ = find_decision_map(*task_.pool, *domain, task_, options);
+    report.radius_reached = r;
+    report.nodes_explored += last_.nodes_explored;
+    if (last_.found) {
+      found_ = true;
+      found_radius_ = r;
+      witness_domain_ = std::move(domain);
+      report.status = EngineStatus::Conclusive;
+      report.verdict = Verdict::Solvable;
+      report.witness_radius = r;
+      report.reason = found_reason(kind_, r);
+      break;
+    }
+    if (last_.cancelled) {
+      report.status = EngineStatus::Cancelled;
+      break;
+    }
+    if (!last_.exhausted) {
+      report.capped.push_back(capped_label(kind_) + std::to_string(r));
+    }
+  }
+  report.image_cache_hits = images.hits();
+  report.image_cache_misses = images.misses();
+  report.edge_mask_hits = images.edge_mask_hits();
+  report.edge_mask_misses = images.edge_mask_misses();
+}
+
+}  // namespace trichroma

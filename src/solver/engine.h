@@ -1,0 +1,312 @@
+#pragma once
+// Composable analysis engines: the units of the solvability pipeline.
+//
+// Theorem 5.1's decision procedure is a portfolio of semi-decision engines —
+// sound impossibility checks (corner-assignment CSPs, the homological
+// boundary obstruction, the paper's Corollaries 5.5/5.6) racing bounded
+// possibility searches (the decision-map probe ladders). Each step is an
+// AnalysisEngine: a uniform unit with a declared budget, a cooperative
+// cancellation token, and a typed EngineReport (timings, nodes explored,
+// cache hit counts, radius reached, conclusive/inconclusive). The racing
+// scheduler in solver/pipeline.h composes the units; nothing here schedules.
+//
+// Soundness is what makes racing safe: an impossibility engine concluding
+// proves every possibility engine would stay inconclusive (and vice versa),
+// so cancelling the other side never changes the merged verdict.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/obstructions.h"
+#include "solver/map_search.h"
+#include "tasks/task.h"
+
+namespace trichroma {
+
+enum class Verdict { Solvable, Unsolvable, Unknown };
+
+const char* to_string(Verdict v);
+
+/// Cooperative cancellation: the scheduler trips the flag, engines poll it
+/// at every search node (and between probe radii) and unwind promptly.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+  /// The raw flag, for plumbing into MapSearchOptions / connectivity_csp.
+  const std::atomic<bool>* flag() const { return &stop_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Which side of the semi-decision pair an engine argues. Exact engines
+/// (Proposition 5.4 for two processes) decide both directions; Support
+/// engines (characterization) produce inputs for others, never a verdict.
+enum class EngineSide { Exact, Impossibility, Possibility, Support };
+
+/// How one engine run ended. Conclusive carries a verdict; Completed is the
+/// Support analogue ("ran to the end, no verdict by design"); Inconclusive
+/// means the engine ran but its condition did not decide the task.
+enum class EngineStatus { Conclusive, Inconclusive, Completed, Cancelled, Skipped };
+
+const char* to_string(EngineSide s);
+const char* to_string(EngineStatus s);
+
+/// The budget every engine runs under, derived from SolvabilityOptions.
+struct EngineBudget {
+  int max_radius = 2;
+  std::size_t node_cap = 20'000'000;
+  /// Worker threads for decision-map searches inside the engine.
+  int threads = 1;
+  bool reuse_subdivisions = true;
+  bool reuse_images = true;
+};
+
+/// Typed per-engine outcome; the JSON report serializes these verbatim.
+struct EngineReport {
+  std::string name;
+  EngineSide side = EngineSide::Support;
+  EngineStatus status = EngineStatus::Skipped;
+  /// Merge precedence: among conclusive engines, lowest wins (mirrors the
+  /// pre-refactor ladder order, which is what keeps verdicts identical).
+  int precedence = 0;
+  /// Meaningful only when status == Conclusive.
+  Verdict verdict = Verdict::Unknown;
+  /// Merge-ready reason string, set when Conclusive.
+  std::string reason;
+  /// Engine-specific diagnostic (CSP detail, characterization summary, ...).
+  std::string detail;
+  /// Probes: last radius attempted / radius of the found map.
+  int radius_reached = -1;
+  int witness_radius = -1;
+  std::size_t nodes_explored = 0;
+  std::size_t image_cache_hits = 0;
+  std::size_t image_cache_misses = 0;
+  std::size_t edge_mask_hits = 0;
+  std::size_t edge_mask_misses = 0;
+  /// Which probe/radius combinations stopped on the node cap — the material
+  /// for an honest Unknown reason.
+  std::vector<std::string> capped;
+  double wall_ms = 0.0;
+};
+
+/// One uniform pipeline unit. `run` owns the boilerplate — timing, the
+/// upfront token check, name/side/precedence stamping — and delegates the
+/// actual analysis to `execute`.
+class AnalysisEngine {
+ public:
+  virtual ~AnalysisEngine() = default;
+
+  virtual const char* name() const = 0;
+  virtual EngineSide side() const = 0;
+  virtual int precedence() const = 0;
+
+  EngineReport run(const EngineBudget& budget, const CancellationToken& token);
+
+  /// A Skipped placeholder, for engines the schedule never started.
+  EngineReport skipped() const;
+
+ protected:
+  virtual void execute(const EngineBudget& budget, const CancellationToken& token,
+                       EngineReport& report) = 0;
+};
+
+/// Fixed precedence numbers, mirroring the pre-refactor ladder order.
+namespace engine_precedence {
+constexpr int kTwoProcess = 0;
+constexpr int kGenericConnectivity = 5;
+constexpr int kPostSplitCsp = 10;
+constexpr int kHomology = 11;
+constexpr int kCorollary55 = 12;
+constexpr int kCorollary56 = 13;
+constexpr int kChromaticProbe = 20;
+constexpr int kAgnosticProbe = 30;
+constexpr int kColorlessProbe = 40;
+}  // namespace engine_precedence
+
+/// Proposition 5.4: exact two-process decision via the connectivity CSP.
+class TwoProcessEngine final : public AnalysisEngine {
+ public:
+  explicit TwoProcessEngine(const Task& task) : task_(task) {}
+  const char* name() const override { return "two-process-csp"; }
+  EngineSide side() const override { return EngineSide::Exact; }
+  int precedence() const override { return engine_precedence::kTwoProcess; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& task_;
+};
+
+/// The pre-split connectivity CSP for tasks of four or more processes (the
+/// only impossibility engine available without the three-process
+/// characterization).
+class GenericConnectivityEngine final : public AnalysisEngine {
+ public:
+  explicit GenericConnectivityEngine(const Task& task) : task_(task) {}
+  const char* name() const override { return "generic-connectivity-csp"; }
+  EngineSide side() const override { return EngineSide::Impossibility; }
+  int precedence() const override {
+    return engine_precedence::kGenericConnectivity;
+  }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& task_;
+};
+
+/// Support: canonicalize + LAP-split (T → T* → T'). Interns into the task's
+/// pool, so the scheduler runs it on a lane-private clone_task copy.
+class CharacterizeEngine final : public AnalysisEngine {
+ public:
+  explicit CharacterizeEngine(const Task& task) : task_(task) {}
+  const char* name() const override { return "characterize"; }
+  EngineSide side() const override { return EngineSide::Support; }
+  int precedence() const override { return 1; }
+
+  /// The characterization, once run; null if skipped/cancelled.
+  std::shared_ptr<CharacterizationResult> result() const { return result_; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& task_;
+  std::shared_ptr<CharacterizationResult> result_;
+};
+
+/// Corollary 5.5 on the canonical task T*.
+class Corollary55Engine final : public AnalysisEngine {
+ public:
+  explicit Corollary55Engine(const Task& tstar) : tstar_(tstar) {}
+  const char* name() const override { return "corollary-5.5"; }
+  EngineSide side() const override { return EngineSide::Impossibility; }
+  int precedence() const override { return engine_precedence::kCorollary55; }
+
+  const CorollaryResult& result() const { return result_; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& tstar_;
+  CorollaryResult result_;
+};
+
+/// Corollary 5.6 on the canonical task T*.
+class Corollary56Engine final : public AnalysisEngine {
+ public:
+  explicit Corollary56Engine(const Task& tstar) : tstar_(tstar) {}
+  const char* name() const override { return "corollary-5.6"; }
+  EngineSide side() const override { return EngineSide::Impossibility; }
+  int precedence() const override { return engine_precedence::kCorollary56; }
+
+  const CorollaryResult& result() const { return result_; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& tstar_;
+  CorollaryResult result_;
+};
+
+/// The post-split connectivity CSP on T' (Theorem 5.1 + Corollary 5.5 shape).
+class PostSplitCspEngine final : public AnalysisEngine {
+ public:
+  explicit PostSplitCspEngine(const Task& tp) : tp_(tp) {}
+  const char* name() const override { return "post-split-connectivity-csp"; }
+  EngineSide side() const override { return EngineSide::Impossibility; }
+  int precedence() const override { return engine_precedence::kPostSplitCsp; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& tp_;
+};
+
+/// The homological boundary obstruction on T'.
+class HomologyEngine final : public AnalysisEngine {
+ public:
+  explicit HomologyEngine(const Task& tp) : tp_(tp) {}
+  const char* name() const override { return "post-split-homology"; }
+  EngineSide side() const override { return EngineSide::Impossibility; }
+  int precedence() const override { return engine_precedence::kHomology; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& tp_;
+};
+
+/// Which decision-map probe ladder a ProbeEngine climbs.
+enum class ProbeKind {
+  /// Chromatic δ : Ch^r(I) → O on the task itself — a found map IS a
+  /// wait-free protocol.
+  DirectChromatic,
+  /// Color-agnostic map into T' (Lemma 5.3 / the Figure-7 algorithm).
+  LinkConnectedAgnostic,
+  /// Color-agnostic map on the task itself (the standalone colorless probe
+  /// of the hourglass demonstrations; never scheduled by the pipeline).
+  ColorlessDirect,
+};
+
+/// The possibility side: climbs the radius ladder r = 0..max_radius running
+/// one decision-map search per rung, sharing one SubdivisionLadder and one
+/// DeltaImageCache across rungs (both optional via the budget's reuse
+/// flags). Interns subdivision vertices into the task's pool, so a lane
+/// must own that pool exclusively while the probe runs.
+class ProbeEngine final : public AnalysisEngine {
+ public:
+  ProbeEngine(const Task& task, ProbeKind kind) : task_(task), kind_(kind) {}
+
+  const char* name() const override;
+  EngineSide side() const override { return EngineSide::Possibility; }
+  int precedence() const override;
+
+  bool found() const { return found_; }
+  int found_radius() const { return found_radius_; }
+  const VertexMap& witness() const { return last_.map; }
+  /// Domain of the found map (Ch^found_radius of the task's input),
+  /// shared with the probe's ladder.
+  std::shared_ptr<const SubdividedComplex> witness_domain() const {
+    return witness_domain_;
+  }
+  /// The final find_decision_map result (the found one, or the last rung's).
+  const MapSearchResult& last() const { return last_; }
+
+ protected:
+  void execute(const EngineBudget& budget, const CancellationToken& token,
+               EngineReport& report) override;
+
+ private:
+  const Task& task_;
+  ProbeKind kind_;
+  bool found_ = false;
+  int found_radius_ = -1;
+  std::shared_ptr<const SubdividedComplex> witness_domain_;
+  MapSearchResult last_;
+};
+
+}  // namespace trichroma

@@ -202,6 +202,9 @@ struct SharedSearch {
   std::atomic<bool> stop{false};      // found a map, or cap hit: unwind
   std::atomic<bool> cap_hit{false};
   std::atomic<bool> found{false};
+  // Caller-provided cancellation flag (MapSearchOptions::cancel), or null.
+  const std::atomic<bool>* external = nullptr;
+  std::atomic<bool> ext_cancelled{false};
   std::mutex winner_mutex;
   std::vector<int> winner;            // assignment of the first finisher
 };
@@ -292,10 +295,18 @@ struct Solver {
   }
 
   /// Counts a node against the shared budget; false when the search must
-  /// unwind (budget gone or another worker finished).
+  /// unwind (budget gone, cancelled from outside, or another worker
+  /// finished).
   bool charge_node() {
     if (shared.nodes.fetch_add(1, std::memory_order_relaxed) + 1 > node_cap) {
       shared.cap_hit.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      aborted = true;
+      return false;
+    }
+    if (shared.external != nullptr &&
+        shared.external->load(std::memory_order_relaxed)) {
+      shared.ext_cancelled.store(true, std::memory_order_relaxed);
       shared.stop.store(true, std::memory_order_relaxed);
       aborted = true;
       return false;
@@ -368,10 +379,12 @@ constexpr std::size_t kMinVariablesForParallel = 10;
 void run_sequential(const Csp& csp, const MapSearchOptions& options,
                     MapSearchResult& result) {
   SharedSearch shared;
+  shared.external = options.cancel;
   Solver solver(csp, shared, options.node_cap, options.dynamic_ordering);
   const bool found = solver.search();
   result.nodes_explored = shared.nodes.load();
-  result.exhausted = !shared.cap_hit.load();
+  result.cancelled = !found && shared.ext_cancelled.load();
+  result.exhausted = !shared.cap_hit.load() && !result.cancelled;
   if (found) {
     result.found = true;
     for (std::size_t i = 0; i < csp.n; ++i) {
@@ -384,6 +397,7 @@ void run_sequential(const Csp& csp, const MapSearchOptions& options,
 void run_parallel(const Csp& csp, const MapSearchOptions& options, int threads,
                   MapSearchResult& result) {
   SharedSearch shared;
+  shared.external = options.cancel;
 
   // Phase 1 — split work: expand the top of the search tree breadth-first
   // into at least ~4 prefixes per worker. Expansion replays each prefix on
@@ -412,9 +426,10 @@ void run_parallel(const Csp& csp, const MapSearchOptions& options, int threads,
       }
     }
     if (scratch.aborted) {
-      // Node cap exhausted during splitting — report like the sequential
-      // engine would: inconclusive, nothing found.
+      // Node cap exhausted (or cancellation) during splitting — report like
+      // the sequential engine would: inconclusive, nothing found.
       result.nodes_explored = shared.nodes.load();
+      result.cancelled = shared.ext_cancelled.load();
       result.exhausted = false;
       return;
     }
@@ -496,16 +511,26 @@ void run_parallel(const Csp& csp, const MapSearchOptions& options, int threads,
                      csp.values[i][static_cast<std::size_t>(shared.winner[i])]);
     }
   } else {
-    result.exhausted = !shared.cap_hit.load();
+    result.cancelled = shared.ext_cancelled.load();
+    result.exhausted = !shared.cap_hit.load() && !result.cancelled;
   }
 }
 
 }  // namespace
 
+int resolve_search_threads(int requested) { return resolve_threads(requested); }
+
 MapSearchResult find_decision_map(const VertexPool& pool,
                                   const SubdividedComplex& domain, const Task& task,
                                   const MapSearchOptions& options) {
   MapSearchResult result;
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    // Cancelled before the CSP is even compiled.
+    result.cancelled = true;
+    result.exhausted = false;
+    return result;
+  }
   DeltaImageCache local_images;
   DeltaImageCache& images =
       options.image_cache != nullptr ? *options.image_cache : local_images;

@@ -17,6 +17,7 @@
 // (Lemma 5.3): processes land on one output simplex but possibly on
 // vertices of the wrong color.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -112,15 +113,25 @@ struct MapSearchOptions {
   /// Optional cross-call Δ-image cache (see DeltaImageCache). Borrowed, may
   /// be null (a per-call cache is used); must be dedicated to `task.delta`.
   DeltaImageCache* image_cache = nullptr;
+  /// Optional cooperative cancellation flag, polled at every search node by
+  /// every worker. When it becomes true the search unwinds promptly and the
+  /// result reports `cancelled = true` (and exhausted = false) unless a map
+  /// was already found. Borrowed; must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MapSearchResult {
   bool found = false;
   bool exhausted = true;  ///< meaningful when !found: whole space explored
-  VertexMap map;          ///< the decision map, when found
+  bool cancelled = false;  ///< stopped by MapSearchOptions::cancel
+  VertexMap map;           ///< the decision map, when found
   /// Backtracking nodes visited, aggregated across all workers.
   std::size_t nodes_explored = 0;
 };
+
+/// Resolves a `threads` request the way every search engine does:
+/// 0 = hardware concurrency (at least 1), N > 0 = N.
+int resolve_search_threads(int requested);
 
 /// Searches for a simplicial map from `domain.complex` to `task.output`
 /// carried by `task.delta` (carriers interpreted in `task.input`).

@@ -1,0 +1,322 @@
+#include "solver/pipeline.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace trichroma {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+EngineBudget budget_from(const SolvabilityOptions& options) {
+  EngineBudget budget;
+  budget.max_radius = options.max_radius;
+  budget.node_cap = options.node_cap;
+  budget.threads = options.threads;
+  budget.reuse_subdivisions = options.reuse_subdivisions;
+  budget.reuse_images = options.reuse_images;
+  return budget;
+}
+
+EngineReport make_skipped(const char* name, EngineSide side, int precedence) {
+  EngineReport report;
+  report.name = name;
+  report.side = side;
+  report.precedence = precedence;
+  report.status = EngineStatus::Skipped;
+  return report;
+}
+
+std::size_t facet_count(const SimplicialComplex& k) {
+  const int top = k.dimension();
+  return top < 0 ? 0 : k.count(top);
+}
+
+// Everything the impossibility lane produces. The lane owns a clone of the
+// task (pools are unsynchronized, and characterize/subdivision intern), so
+// its engines' vertex ids are only meaningful against the clone's pool —
+// which `characterization` keeps alive.
+struct ImpossibilityLane {
+  EngineReport characterize =
+      make_skipped("characterize", EngineSide::Support, 1);
+  EngineReport cor55 = make_skipped("corollary-5.5", EngineSide::Impossibility,
+                                    engine_precedence::kCorollary55);
+  EngineReport cor56 = make_skipped("corollary-5.6", EngineSide::Impossibility,
+                                    engine_precedence::kCorollary56);
+  EngineReport csp =
+      make_skipped("post-split-connectivity-csp", EngineSide::Impossibility,
+                   engine_precedence::kPostSplitCsp);
+  EngineReport homology =
+      make_skipped("post-split-homology", EngineSide::Impossibility,
+                   engine_precedence::kHomology);
+  EngineReport agnostic =
+      make_skipped("tp-agnostic-probe", EngineSide::Possibility,
+                   engine_precedence::kAgnosticProbe);
+  EngineReport generic =
+      make_skipped("generic-connectivity-csp", EngineSide::Impossibility,
+                   engine_precedence::kGenericConnectivity);
+
+  std::shared_ptr<CharacterizationResult> characterization;
+  CorollaryResult cor55_result;
+  CorollaryResult cor56_result;
+  int agnostic_radius = -1;
+  bool concluded_impossible = false;
+};
+
+/// The n > 3 impossibility lane: just the generic pre-split CSP.
+void run_generic_chain(const Task& lane_task, const EngineBudget& budget,
+                       const CancellationToken& self, CancellationToken& other,
+                       ImpossibilityLane& lane) {
+  GenericConnectivityEngine engine(lane_task);
+  lane.generic = engine.run(budget, self);
+  if (lane.generic.status == EngineStatus::Conclusive) {
+    lane.concluded_impossible = true;
+    other.request_stop();
+  }
+}
+
+/// The three-process impossibility chain: characterize, then the obstruction
+/// engines on T*/T'. Corollaries are evaluated before the CSPs (they feed
+/// the result payload either way) but rank *after* them in precedence,
+/// mirroring the pre-refactor ladder's check order; the homology engine is
+/// skipped once the CSP already concluded, as the ladder returned early.
+void run_impossibility_chain(const Task& lane_task, const EngineBudget& budget,
+                             const CancellationToken& self,
+                             CancellationToken& other, ImpossibilityLane& lane) {
+  CharacterizeEngine characterize(lane_task);
+  lane.characterize = characterize.run(budget, self);
+  if (lane.characterize.status != EngineStatus::Completed) return;
+  lane.characterization = characterize.result();
+  const Task& tstar = lane.characterization->canonical;
+  const Task& tp = lane.characterization->link_connected;
+
+  Corollary55Engine cor55(tstar);
+  lane.cor55 = cor55.run(budget, self);
+  lane.cor55_result = cor55.result();
+  if (lane.cor55.status == EngineStatus::Conclusive) {
+    lane.concluded_impossible = true;
+    other.request_stop();
+  }
+
+  Corollary56Engine cor56(tstar);
+  lane.cor56 = cor56.run(budget, self);
+  lane.cor56_result = cor56.result();
+  if (lane.cor56.status == EngineStatus::Conclusive) {
+    lane.concluded_impossible = true;
+    other.request_stop();
+  }
+
+  PostSplitCspEngine csp(tp);
+  lane.csp = csp.run(budget, self);
+  if (lane.csp.status == EngineStatus::Conclusive) {
+    lane.concluded_impossible = true;
+    other.request_stop();
+    lane.homology = HomologyEngine(tp).skipped();
+    return;
+  }
+
+  HomologyEngine homology(tp);
+  lane.homology = homology.run(budget, self);
+  if (lane.homology.status == EngineStatus::Conclusive) {
+    lane.concluded_impossible = true;
+    other.request_stop();
+  }
+}
+
+/// The color-agnostic probe on T' — the characterization's possibility
+/// engine. Runs on the impossibility lane's thread (and clone), overlapping
+/// the chromatic probe in racing mode. Its conclusion cancels nothing: the
+/// chromatic probe ranks higher and must finish to keep the merge
+/// deterministic.
+void run_agnostic_probe(const EngineBudget& budget, const CancellationToken& self,
+                        ImpossibilityLane& lane) {
+  if (lane.characterization == nullptr || lane.concluded_impossible ||
+      self.stop_requested()) {
+    return;
+  }
+  ProbeEngine probe(lane.characterization->link_connected,
+                    ProbeKind::LinkConnectedAgnostic);
+  lane.agnostic = probe.run(budget, self);
+  if (lane.agnostic.status == EngineStatus::Conclusive) {
+    lane.agnostic_radius = probe.found_radius();
+  }
+}
+
+/// Deterministic merge: among conclusive engines the lowest precedence wins.
+const EngineReport* best_conclusive(const std::vector<EngineReport>& engines) {
+  const EngineReport* best = nullptr;
+  for (const EngineReport& e : engines) {
+    if (e.status != EngineStatus::Conclusive) continue;
+    if (best == nullptr || e.precedence < best->precedence) best = &e;
+  }
+  return best;
+}
+
+void merge_unknown_reason(const SolvabilityOptions& options,
+                          PipelineReport& report) {
+  // Budget truncations, in classic ladder order: chromatic rungs first,
+  // then the T'-agnostic rungs.
+  std::vector<std::string> capped;
+  for (const char* name : {"chromatic-probe", "tp-agnostic-probe"}) {
+    for (const EngineReport& e : report.engines) {
+      if (e.name != name) continue;
+      capped.insert(capped.end(), e.capped.begin(), e.capped.end());
+    }
+  }
+  if (capped.empty()) {
+    report.reason = "no decision map up to radius " +
+                    std::to_string(options.max_radius) +
+                    " and no obstruction found";
+  } else {
+    std::string which;
+    for (const std::string& probe : capped) {
+      which += (which.empty() ? "" : "; ") + probe;
+    }
+    report.reason = "search budget exhausted before a conclusion (node cap " +
+                    std::to_string(options.node_cap) + " hit by: " + which + ")";
+  }
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options) {
+  const Clock::time_point start = Clock::now();
+  PipelineResult out;
+  PipelineReport& report = out.report;
+  report.task_name = task.name;
+  report.num_processes = task.num_processes;
+  report.input_facets = facet_count(task.input);
+  report.output_facets = facet_count(task.output);
+  report.options = options;
+  report.threads_resolved = resolve_search_threads(options.threads);
+  const EngineBudget budget = budget_from(options);
+
+  // Two processes: Proposition 5.4 decides exactly; nothing to race.
+  if (task.num_processes == 2) {
+    TwoProcessEngine engine(task);
+    CancellationToken token;
+    const EngineReport r = engine.run(budget, token);
+    report.engines.push_back(r);
+    if (r.status == EngineStatus::Conclusive) {
+      report.verdict = r.verdict;
+      report.reason = r.reason;
+    } else {
+      report.verdict = Verdict::Unknown;
+      report.reason = r.detail;
+    }
+    report.total_wall_ms = ms_since(start);
+    return out;
+  }
+
+  const bool characterize_route =
+      options.use_characterization && task.num_processes == 3;
+  const bool generic_route = task.num_processes > 3;
+  const bool race =
+      report.threads_resolved >= 2 && (characterize_route || generic_route);
+
+  CancellationToken possibility_token;    // stops the chromatic probe
+  CancellationToken impossibility_token;  // stops the T'/generic lane
+
+  ProbeEngine chromatic(task, ProbeKind::DirectChromatic);
+  EngineReport chromatic_report = chromatic.skipped();
+  ImpossibilityLane lane;
+
+  if (race) {
+    // The impossibility lane interns into its own clone of the task; the
+    // chromatic probe interns into the original pool from this thread.
+    // Soundness makes the cross-lane cancellation verdict-neutral.
+    const Task lane_task = clone_task(task);
+    std::thread impossibility_thread([&]() {
+      if (generic_route) {
+        run_generic_chain(lane_task, budget, impossibility_token,
+                          possibility_token, lane);
+        return;
+      }
+      run_impossibility_chain(lane_task, budget, impossibility_token,
+                              possibility_token, lane);
+      run_agnostic_probe(budget, impossibility_token, lane);
+    });
+    chromatic_report = chromatic.run(budget, possibility_token);
+    if (chromatic_report.status == EngineStatus::Conclusive) {
+      impossibility_token.request_stop();
+    }
+    impossibility_thread.join();
+  } else {
+    // Sequential ladder: impossibility chain, chromatic probe, T'-agnostic
+    // probe, each side skipped once an earlier engine concluded.
+    if (generic_route) {
+      const Task lane_task = clone_task(task);
+      run_generic_chain(lane_task, budget, impossibility_token,
+                        possibility_token, lane);
+      if (!lane.concluded_impossible) {
+        chromatic_report = chromatic.run(budget, possibility_token);
+      }
+    } else if (characterize_route) {
+      const Task lane_task = clone_task(task);
+      run_impossibility_chain(lane_task, budget, impossibility_token,
+                              possibility_token, lane);
+      if (!lane.concluded_impossible) {
+        chromatic_report = chromatic.run(budget, possibility_token);
+        if (chromatic_report.status != EngineStatus::Conclusive) {
+          run_agnostic_probe(budget, impossibility_token, lane);
+        }
+      }
+    } else {
+      chromatic_report = chromatic.run(budget, possibility_token);
+    }
+  }
+
+  // Canonical engine order for the report.
+  if (generic_route) {
+    report.engines.push_back(std::move(lane.generic));
+    report.engines.push_back(std::move(chromatic_report));
+  } else if (characterize_route) {
+    report.engines.push_back(std::move(lane.characterize));
+    report.engines.push_back(std::move(lane.cor55));
+    report.engines.push_back(std::move(lane.cor56));
+    report.engines.push_back(std::move(lane.csp));
+    report.engines.push_back(std::move(lane.homology));
+    report.engines.push_back(std::move(chromatic_report));
+    report.engines.push_back(std::move(lane.agnostic));
+  } else {
+    report.engines.push_back(std::move(chromatic_report));
+  }
+
+  // Lane payload, independent of the merge outcome (mirrors the ladder,
+  // which always exposed the characterization and corollaries when run).
+  out.characterization = lane.characterization;
+  out.cor55 = lane.cor55_result;
+  out.cor56 = lane.cor56_result;
+
+  const EngineReport* best = best_conclusive(report.engines);
+  if (best == nullptr) {
+    report.verdict = Verdict::Unknown;
+    merge_unknown_reason(options, report);
+  } else {
+    report.verdict = best->verdict;
+    report.reason = best->reason;
+    if (best->precedence == engine_precedence::kChromaticProbe) {
+      report.radius = best->witness_radius;
+      out.has_chromatic_witness = true;
+      out.witness = chromatic.witness();
+      out.witness_domain = chromatic.witness_domain();
+    } else if (best->precedence == engine_precedence::kAgnosticProbe) {
+      report.radius = lane.agnostic_radius;
+      report.via_characterization = true;
+    } else if (best->verdict == Verdict::Unsolvable &&
+               best->precedence != engine_precedence::kGenericConnectivity) {
+      report.via_characterization = true;
+    }
+  }
+
+  report.total_wall_ms = ms_since(start);
+  return out;
+}
+
+}  // namespace trichroma

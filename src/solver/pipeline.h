@@ -1,0 +1,101 @@
+#pragma once
+// The verdict pipeline: schedules AnalysisEngine units over a task and
+// merges their reports into one deterministic verdict.
+//
+// Scheduling. With one worker thread the engines run in the classic ladder
+// order (impossibility chain, then the chromatic probe ladder, then the
+// T'-agnostic probe), each skipped as soon as an earlier engine concludes —
+// exactly the pre-refactor sequential cost model. With two or more threads
+// the two sides *race*: the impossibility lane (characterize → Corollaries
+// 5.5/5.6 → post-split CSP → homology → T'-agnostic probe) runs on its own
+// thread over a clone_task copy of the task (pools are unsynchronized),
+// while the possibility lane (the chromatic probe ladder) runs on the
+// calling thread over the original task. The first conclusive engine
+// cancels the dominated side through the lanes' cancellation tokens, so
+// e.g. zoo::identity no longer pays for canonicalize+split before its
+// radius-0 witness, and majority_consensus no longer pays a 20M-node
+// refutation after its obstruction fired.
+//
+// Determinism. Engines are sound, so possibility and impossibility can
+// never both conclude; within a side, a fixed precedence order (the
+// pre-refactor ladder order) selects the reported verdict and reason.
+// Verdict, reason, radius and via_characterization are therefore identical
+// for every thread count (for searches that complete within the node cap —
+// the PR-1 map-search contract). Per-engine statuses and node counts in the
+// report ARE schedule-dependent at >= 2 threads; pin threads = 1 to get a
+// reproducible full report.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/engine.h"
+#include "tasks/task.h"
+
+namespace trichroma {
+
+struct SolvabilityOptions {
+  int max_radius = 2;
+  std::size_t node_cap = 20'000'000;
+  /// Also try the characterization route (split + color-agnostic search)
+  /// when the direct chromatic search fails.
+  bool use_characterization = true;
+  /// Worker threads for the pipeline and every decision-map search inside
+  /// it. 0 = hardware concurrency, 1 = sequential ladder. The verdict is
+  /// identical for every thread count; >= 2 additionally races the
+  /// impossibility lane against the possibility lane.
+  int threads = 0;
+  /// Memoize Ch^r across the radius ladder (SubdivisionLadder) instead of
+  /// recomputing every round from scratch at each radius. Off is only
+  /// useful for benchmarking the cold path.
+  bool reuse_subdivisions = true;
+  /// Share Δ-image complexes across radii and probe modes (DeltaImageCache).
+  bool reuse_images = true;
+};
+
+/// The whole pipeline run, serializable via io::to_json (schema
+/// trichroma.pipeline-report/1).
+struct PipelineReport {
+  std::string task_name;
+  int num_processes = 3;
+  std::size_t input_facets = 0;
+  std::size_t output_facets = 0;
+  SolvabilityOptions options;
+  int threads_resolved = 1;
+  Verdict verdict = Verdict::Unknown;
+  std::string reason;
+  /// Radius of the found decision map (when Solvable via map search).
+  int radius = -1;
+  bool via_characterization = false;
+  double total_wall_ms = 0.0;
+  /// One entry per schedulable engine, in canonical pipeline order (engines
+  /// the schedule never started appear with status "skipped").
+  std::vector<EngineReport> engines;
+};
+
+/// Pipeline output: the merged report plus the witness payload the
+/// decide_solvability façade re-exposes.
+struct PipelineResult {
+  PipelineReport report;
+
+  /// When Solvable via the direct chromatic probe: the witness map and its
+  /// domain (shared with the probe's subdivision ladder; vertex ids live in
+  /// the original task's pool).
+  bool has_chromatic_witness = false;
+  std::shared_ptr<const SubdividedComplex> witness_domain;
+  VertexMap witness;
+
+  /// The characterization lane's output, when it ran to completion. The
+  /// contained tasks reference the lane's cloned pool (kept alive here).
+  std::shared_ptr<CharacterizationResult> characterization;
+  CorollaryResult cor55;
+  CorollaryResult cor56;
+};
+
+/// Runs the full engine pipeline on `task`. decide_solvability is a thin
+/// façade over this; call it directly to get the structured report.
+PipelineResult run_pipeline(const Task& task,
+                            const SolvabilityOptions& options = {});
+
+}  // namespace trichroma

@@ -1,216 +1,89 @@
 #include "solver/solvability.h"
 
-#include <string>
-#include <vector>
+#include <utility>
 
 namespace trichroma {
 
-const char* to_string(Verdict v) {
-  switch (v) {
-    case Verdict::Solvable:
-      return "SOLVABLE";
-    case Verdict::Unsolvable:
-      return "UNSOLVABLE";
-    case Verdict::Unknown:
-      return "UNKNOWN";
-  }
-  return "?";
+namespace {
+
+SolvabilityResult from_pipeline(PipelineResult pipeline) {
+  SolvabilityResult result;
+  result.verdict = pipeline.report.verdict;
+  result.reason = pipeline.report.reason;
+  result.radius = pipeline.report.radius;
+  result.via_characterization = pipeline.report.via_characterization;
+  result.has_chromatic_witness = pipeline.has_chromatic_witness;
+  result.witness_domain = std::move(pipeline.witness_domain);
+  result.witness = std::move(pipeline.witness);
+  result.characterization = std::move(pipeline.characterization);
+  result.cor55 = std::move(pipeline.cor55);
+  result.cor56 = std::move(pipeline.cor56);
+  result.report =
+      std::make_shared<const PipelineReport>(std::move(pipeline.report));
+  return result;
 }
 
-SolvabilityResult decide_two_process(const Task& task) {
+}  // namespace
+
+SolvabilityResult decide_solvability(const Task& task,
+                                     const SolvabilityOptions& options) {
+  return from_pipeline(run_pipeline(task, options));
+}
+
+SolvabilityResult decide_two_process(const Task& task,
+                                     const SolvabilityOptions& options) {
+  // Runs the exact Proposition 5.4 engine directly, whatever
+  // task.num_processes claims (callers probe two-process subtasks).
   SolvabilityResult result;
-  const ConnectivityCsp csp = connectivity_csp(task);
-  if (csp.feasible) {
-    result.verdict = Verdict::Solvable;
-    result.reason =
-        "Proposition 5.4: a corner assignment with connected edge images "
-        "exists, giving a continuous map |I| -> |O| carried by Δ";
-  } else if (csp.exhausted) {
-    result.verdict = Verdict::Unsolvable;
-    result.reason = "Proposition 5.4: no continuous map |I| -> |O| carried by Δ (" +
-                    csp.detail + ")";
+  TwoProcessEngine engine(task);
+  CancellationToken token;
+  EngineBudget budget;
+  budget.max_radius = options.max_radius;
+  budget.node_cap = options.node_cap;
+  budget.threads = options.threads;
+  const EngineReport report = engine.run(budget, token);
+  if (report.status == EngineStatus::Conclusive) {
+    result.verdict = report.verdict;
+    result.reason = report.reason;
   } else {
     result.verdict = Verdict::Unknown;
-    result.reason = csp.detail;
+    result.reason = report.detail;
   }
+  PipelineReport pipeline_report;
+  pipeline_report.task_name = task.name;
+  pipeline_report.num_processes = task.num_processes;
+  pipeline_report.options = options;
+  pipeline_report.threads_resolved = 1;
+  pipeline_report.verdict = result.verdict;
+  pipeline_report.reason = result.reason;
+  pipeline_report.total_wall_ms = report.wall_ms;
+  pipeline_report.engines.push_back(report);
+  result.report =
+      std::make_shared<const PipelineReport>(std::move(pipeline_report));
   return result;
+}
+
+MapSearchResult colorless_probe(const Task& task,
+                                const SolvabilityOptions& options) {
+  ProbeEngine probe(task, ProbeKind::ColorlessDirect);
+  CancellationToken token;
+  EngineBudget budget;
+  budget.max_radius = options.max_radius;
+  budget.node_cap = options.node_cap;
+  budget.threads = options.threads;
+  budget.reuse_subdivisions = options.reuse_subdivisions;
+  budget.reuse_images = options.reuse_images;
+  probe.run(budget, token);
+  return probe.last();
 }
 
 MapSearchResult colorless_probe(const Task& task, int max_radius,
                                 std::size_t node_cap, int threads) {
-  MapSearchOptions options;
-  options.chromatic = false;
+  SolvabilityOptions options;
+  options.max_radius = max_radius;
   options.node_cap = node_cap;
   options.threads = threads;
-  DeltaImageCache images;
-  options.image_cache = &images;
-  SubdivisionLadder ladder(*task.pool, task.input);
-  MapSearchResult last;
-  for (int r = 0; r <= max_radius; ++r) {
-    last = find_decision_map(*task.pool, ladder.at(r), task, options);
-    if (last.found) return last;
-  }
-  return last;
-}
-
-SolvabilityResult decide_solvability(const Task& task,
-                                     const SolvabilityOptions& options) {
-  if (task.num_processes == 2) return decide_two_process(task);
-
-  SolvabilityResult result;
-
-  // Four or more processes: the paper's splitting characterization is
-  // three-process-specific (its §7 future work), so only the generic
-  // engines run — the connectivity CSP for impossibility and the direct
-  // decision-map search for possibility.
-  if (task.num_processes > 3) {
-    const ConnectivityCsp csp = connectivity_csp(task);
-    if (!csp.feasible && csp.exhausted) {
-      result.verdict = Verdict::Unsolvable;
-      result.reason = "connectivity obstruction (n-process generic engine): " +
-                      csp.detail;
-      return result;
-    }
-  }
-
-  // --- Impossibility side: obstructions on the split task T'. ---
-  if (options.use_characterization && task.num_processes == 3) {
-    result.characterization =
-        std::make_shared<CharacterizationResult>(characterize(task));
-    const Task& tp = result.characterization->link_connected;
-
-    result.cor55 = corollary_5_5(result.characterization->canonical);
-    result.cor56 = corollary_5_6(result.characterization->canonical);
-
-    const ConnectivityCsp csp = connectivity_csp(tp);
-    if (!csp.feasible && csp.exhausted) {
-      result.verdict = Verdict::Unsolvable;
-      result.via_characterization = true;
-      result.reason =
-          "post-split connectivity obstruction on T' (Theorem 5.1 + "
-          "Corollary 5.5 shape): " +
-          csp.detail;
-      return result;
-    }
-    const HomologyObstruction hom = homology_boundary_check(tp);
-    if (!hom.feasible && hom.exhausted) {
-      result.verdict = Verdict::Unsolvable;
-      result.via_characterization = true;
-      result.reason =
-          "post-split homological obstruction on T' (no continuous map "
-          "|I| -> |O'| carried by Δ'): " +
-          hom.detail;
-      return result;
-    }
-    if (result.cor55.fires) {
-      result.verdict = Verdict::Unsolvable;
-      result.via_characterization = true;
-      result.reason = "Corollary 5.5 on T*: " + result.cor55.detail;
-      return result;
-    }
-    if (result.cor56.fires) {
-      result.verdict = Verdict::Unsolvable;
-      result.via_characterization = true;
-      result.reason = "Corollary 5.6 on T*: " + result.cor56.detail;
-      return result;
-    }
-  }
-
-  // --- Possibility side: direct chromatic decision-map search. ---
-  // Both probes on the original task walk the same subdivision tower and
-  // query the same Δ, so one ladder and one image cache serve every radius
-  // (and would serve a colorless probe on T too). T' below is a different
-  // task (own pool, own Δ), so it gets its own pair.
-  // When a probe stops on the node cap instead of exhausting its space, we
-  // record exactly which probe and radius were truncated so an Unknown
-  // verdict can say what was actually left undecided.
-  std::vector<std::string> capped;
-  MapSearchOptions chromatic_options;
-  chromatic_options.chromatic = true;
-  chromatic_options.node_cap = options.node_cap;
-  chromatic_options.threads = options.threads;
-  DeltaImageCache images;
-  if (options.reuse_images) chromatic_options.image_cache = &images;
-  SubdivisionLadder ladder(*task.pool, task.input);
-  for (int r = 0; r <= options.max_radius; ++r) {
-    SubdividedComplex cold;
-    const SubdividedComplex* domain;
-    if (options.reuse_subdivisions) {
-      domain = &ladder.at(r);
-    } else {
-      cold = chromatic_subdivision(*task.pool, task.input, r);
-      domain = &cold;
-    }
-    MapSearchResult found =
-        find_decision_map(*task.pool, *domain, task, chromatic_options);
-    if (found.found) {
-      result.verdict = Verdict::Solvable;
-      result.radius = r;
-      result.has_chromatic_witness = true;
-      result.witness_domain = *domain;
-      result.witness = std::move(found.map);
-      result.reason = "chromatic decision map found on Ch^" + std::to_string(r) +
-                      "(I) (" + std::to_string(found.nodes_explored) +
-                      " search nodes)";
-      return result;
-    }
-    if (!found.exhausted) {
-      capped.push_back("chromatic probe at radius " + std::to_string(r));
-    }
-  }
-
-  // --- Possibility via the characterization: color-agnostic map into T'. ---
-  if (options.use_characterization && result.characterization != nullptr) {
-    const Task& tp = result.characterization->link_connected;
-    MapSearchOptions agnostic;
-    agnostic.chromatic = false;
-    agnostic.node_cap = options.node_cap;
-    agnostic.threads = options.threads;
-    DeltaImageCache tp_images;
-    if (options.reuse_images) agnostic.image_cache = &tp_images;
-    SubdivisionLadder tp_ladder(*tp.pool, tp.input);
-    for (int r = 0; r <= options.max_radius; ++r) {
-      SubdividedComplex cold;
-      const SubdividedComplex* domain;
-      if (options.reuse_subdivisions) {
-        domain = &tp_ladder.at(r);
-      } else {
-        cold = chromatic_subdivision(*tp.pool, tp.input, r);
-        domain = &cold;
-      }
-      MapSearchResult found = find_decision_map(*tp.pool, *domain, tp, agnostic);
-      if (found.found) {
-        result.verdict = Verdict::Solvable;
-        result.radius = r;
-        result.via_characterization = true;
-        result.reason =
-            "color-agnostic decision map found on the link-connected task T' "
-            "at Ch^" +
-            std::to_string(r) +
-            "(I); solvable by Theorem 5.1 via the Figure-7 algorithm";
-        return result;
-      }
-      if (!found.exhausted) {
-        capped.push_back("T'-agnostic (colorless) probe at radius " +
-                         std::to_string(r));
-      }
-    }
-  }
-
-  result.verdict = Verdict::Unknown;
-  if (capped.empty()) {
-    result.reason = "no decision map up to radius " +
-                    std::to_string(options.max_radius) +
-                    " and no obstruction found";
-  } else {
-    std::string which;
-    for (const std::string& probe : capped) {
-      which += (which.empty() ? "" : "; ") + probe;
-    }
-    result.reason = "search budget exhausted before a conclusion (node cap " +
-                    std::to_string(options.node_cap) + " hit by: " + which + ")";
-  }
-  return result;
+  return colorless_probe(task, options);
 }
 
 }  // namespace trichroma

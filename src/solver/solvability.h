@@ -1,5 +1,6 @@
 #pragma once
-// The combined solvability decision procedure.
+// The combined solvability decision procedure — a thin façade over the
+// engine pipeline (solver/pipeline.h).
 //
 // For three-process tasks the procedure is a sound semi-decision pair wired
 // through the paper's characterization (Theorem 5.1):
@@ -15,7 +16,12 @@
 //      characterization — for a color-agnostic map into T', which by
 //      Lemma 5.3 (the Figure-7 algorithm) also yields a protocol.
 //
-// Existence of a continuous map is undecidable in general, so the ladder
+// With >= 2 threads the two sides race and the first conclusive engine
+// cancels the other side; the verdict, reason, radius and
+// via_characterization are identical for every thread count (see
+// solver/pipeline.h for the determinism contract).
+//
+// Existence of a continuous map is undecidable in general, so the pipeline
 // can return Unknown when every engine is inconclusive at the configured
 // radius; all of the paper's examples are decided at r <= 2.
 //
@@ -34,31 +40,10 @@
 #include "core/characterization.h"
 #include "core/obstructions.h"
 #include "solver/map_search.h"
+#include "solver/pipeline.h"
 #include "tasks/task.h"
 
 namespace trichroma {
-
-enum class Verdict { Solvable, Unsolvable, Unknown };
-
-const char* to_string(Verdict v);
-
-struct SolvabilityOptions {
-  int max_radius = 2;
-  std::size_t node_cap = 20'000'000;
-  /// Also try the characterization route (split + color-agnostic search)
-  /// when the direct chromatic search fails.
-  bool use_characterization = true;
-  /// Worker threads for every decision-map search (see
-  /// MapSearchOptions::threads). 0 = hardware concurrency, 1 = sequential.
-  /// The verdict is identical for every thread count.
-  int threads = 0;
-  /// Memoize Ch^r across the radius ladder (SubdivisionLadder) instead of
-  /// recomputing every round from scratch at each radius. Off is only
-  /// useful for benchmarking the cold path.
-  bool reuse_subdivisions = true;
-  /// Share Δ-image complexes across radii and probe modes (DeltaImageCache).
-  bool reuse_images = true;
-};
 
 struct SolvabilityResult {
   Verdict verdict = Verdict::Unknown;
@@ -70,28 +55,41 @@ struct SolvabilityResult {
   bool via_characterization = false;
 
   /// When Solvable via direct chromatic search: the witness map and its
-  /// domain (Ch^radius of the task's input complex).
+  /// domain (Ch^radius of the task's input complex), shared with the
+  /// probe's subdivision ladder rather than deep-copied.
   bool has_chromatic_witness = false;
-  SubdividedComplex witness_domain;
+  std::shared_ptr<const SubdividedComplex> witness_domain;
   VertexMap witness;
 
-  /// The characterization pipeline output (populated when it was run).
+  /// The characterization pipeline output (populated when that lane ran to
+  /// completion; with >= 2 threads a fast chromatic witness may cancel it).
+  /// Its tasks reference their own cloned pool — use
+  /// `characterization->canonical.pool` for names, not the original task's.
   std::shared_ptr<CharacterizationResult> characterization;
   /// Pre-split corollaries, for reporting.
   CorollaryResult cor55;
   CorollaryResult cor56;
+
+  /// The full structured pipeline report (per-engine timings, node counts,
+  /// cache stats); serialize with io::to_json.
+  std::shared_ptr<const PipelineReport> report;
 };
 
 /// Decides wait-free solvability of a two- or three-process task.
 SolvabilityResult decide_solvability(const Task& task,
                                      const SolvabilityOptions& options = {});
 
-/// Proposition 5.4: exact decision for two-process tasks.
-SolvabilityResult decide_two_process(const Task& task);
+/// Proposition 5.4: exact decision for two-process tasks. Honors the
+/// budget in `options` (node cap; the CSP detail lands in the report).
+SolvabilityResult decide_two_process(const Task& task,
+                                     const SolvabilityOptions& options = {});
 
 /// Colorless probe: searches for a color-agnostic decision map on the task
 /// itself (not T'). Used to demonstrate the hourglass phenomenon: the
 /// colorless ACT condition can hold while the chromatic task is unsolvable.
+/// Implemented as a standalone ProbeEngine invocation honoring every budget
+/// knob (node cap, threads, reuse_subdivisions, reuse_images).
+MapSearchResult colorless_probe(const Task& task, const SolvabilityOptions& options);
 MapSearchResult colorless_probe(const Task& task, int max_radius,
                                 std::size_t node_cap = 20'000'000,
                                 int threads = 0);

@@ -1,6 +1,8 @@
 #include "tasks/task.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "topology/chromatic.h"
@@ -90,6 +92,57 @@ std::string Task::summary() const {
          std::to_string(output.count(2)) + " triangles\n";
   out += std::string("  canonical: ") + (is_canonical() ? "yes" : "no") +
          ", link-connected: " + (is_link_connected() ? "yes" : "no") + "\n";
+  return out;
+}
+
+Task clone_task(const Task& task) {
+  Task out;
+  out.name = task.name;
+  out.num_processes = task.num_processes;
+  out.pool = std::make_shared<VertexPool>();
+
+  // Replay the value pool in id order. Tuple/Set children always have lower
+  // ids than their parents, and a deduplicated pool replayed in order never
+  // re-interns an existing entry, so every value keeps its id.
+  const ValuePool& src = task.pool->values();
+  ValuePool& dst = out.pool->values();
+  for (std::uint32_t i = 0; i < src.size(); ++i) {
+    const ValueId id{i};
+    ValueId copied{};
+    switch (src.kind(id)) {
+      case ValuePool::Kind::Int:
+        copied = dst.of_int(src.as_int(id));
+        break;
+      case ValuePool::Kind::Str:
+        copied = dst.of_string(src.as_string(id));
+        break;
+      case ValuePool::Kind::Tuple:
+        copied = dst.of_tuple(src.elements(id));
+        break;
+      case ValuePool::Kind::Set: {
+        const auto elems = src.elements(id);
+        copied = dst.of_set(std::vector<ValueId>(elems.begin(), elems.end()));
+        break;
+      }
+    }
+    if (copied != id) {
+      throw std::logic_error("clone_task: value replay changed an id");
+    }
+  }
+  // Same argument for the vertices themselves.
+  for (std::uint32_t i = 0; i < task.pool->size(); ++i) {
+    const VertexId id{i};
+    const VertexId copied =
+        out.pool->vertex(task.pool->color(id), task.pool->value(id));
+    if (copied != id) {
+      throw std::logic_error("clone_task: vertex replay changed an id");
+    }
+  }
+
+  // Ids are identical, so the id-based structures copy verbatim.
+  out.input = task.input;
+  out.output = task.output;
+  out.delta = task.delta;
   return out;
 }
 

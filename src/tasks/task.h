@@ -51,4 +51,12 @@ struct Task {
 /// The input vertices whose Δ-image contains output vertex `y`.
 std::vector<VertexId> preimage_vertices(const Task& task, VertexId y);
 
+/// Deep copy of `task` into a fresh VertexPool, preserving every id: the
+/// source pool's values and vertices are replayed into the new pool in id
+/// order, which (both pools being deduplicated) reproduces identical
+/// ValueIds and VertexIds, so the complexes and Δ are copied verbatim.
+/// Pipeline stages that intern concurrently (the racing scheduler's lanes)
+/// each work on a clone instead of sharing the unsynchronized pool.
+Task clone_task(const Task& task);
+
 }  // namespace trichroma

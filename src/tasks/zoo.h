@@ -218,5 +218,23 @@ struct RandomTaskParams {
 /// by downward closure (restriction), which always yields a carrier map.
 Task random_task(const RandomTaskParams& params);
 
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// A named zoo entry; `build` returns a fresh Task with its own pool, so
+/// entries can be constructed concurrently from different threads.
+struct CatalogEntry {
+  const char* name;
+  Task (*build)();
+};
+
+/// The canonical zoo sweep: every task the paper discusses plus the
+/// calibration and two-process tasks — the verdict-table set. Excludes
+/// tasks that need minutes of search (e.g. (4,3)-set agreement) so the
+/// sweep stays interactive; drives `trichroma batch` and the determinism
+/// tests. Order is stable (it is the reporting order).
+const std::vector<CatalogEntry>& catalog();
+
 }  // namespace zoo
 }  // namespace trichroma

@@ -1,0 +1,60 @@
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace zoo {
+
+namespace {
+
+Task build_identity() { return identity_task(); }
+Task build_renaming5() { return renaming(5); }
+Task build_subdivision0() { return subdivision_task(0); }
+Task build_subdivision1() { return subdivision_task(1); }
+Task build_approx_agreement() { return approximate_agreement(2); }
+Task build_fan6() { return fan_task(6); }
+Task build_fig3() { return fig3_running_example(); }
+Task build_loop_filled() { return loop_agreement_filled_triangle(); }
+Task build_consensus3() { return consensus(3); }
+Task build_set_agreement_32() { return set_agreement_32(); }
+Task build_majority_consensus() { return majority_consensus(); }
+Task build_hourglass() { return hourglass(); }
+Task build_pinwheel() { return pinwheel(); }
+Task build_loop_hollow() { return loop_agreement_hollow_triangle(); }
+Task build_loop_torus() { return loop_agreement_torus(); }
+Task build_loop_rp2() { return loop_agreement_projective_plane(); }
+Task build_twisted_hourglass() { return twisted_hourglass(); }
+Task build_test_and_set3() { return test_and_set(3); }
+Task build_wsb3() { return weak_symmetry_breaking(3); }
+Task build_consensus_2() { return consensus_2(); }
+Task build_approx_agreement_2() { return approximate_agreement_2(2); }
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = {
+      {"identity", build_identity},
+      {"renaming5", build_renaming5},
+      {"subdivision0", build_subdivision0},
+      {"subdivision1", build_subdivision1},
+      {"approx_agreement", build_approx_agreement},
+      {"fan6", build_fan6},
+      {"fig3", build_fig3},
+      {"loop_filled", build_loop_filled},
+      {"consensus3", build_consensus3},
+      {"set_agreement_32", build_set_agreement_32},
+      {"majority_consensus", build_majority_consensus},
+      {"hourglass", build_hourglass},
+      {"pinwheel", build_pinwheel},
+      {"loop_hollow", build_loop_hollow},
+      {"loop_torus", build_loop_torus},
+      {"loop_rp2", build_loop_rp2},
+      {"twisted_hourglass", build_twisted_hourglass},
+      {"test_and_set3", build_test_and_set3},
+      {"wsb3", build_wsb3},
+      {"consensus_2", build_consensus_2},
+      {"approx_agreement_2", build_approx_agreement_2},
+  };
+  return entries;
+}
+
+}  // namespace zoo
+}  // namespace trichroma

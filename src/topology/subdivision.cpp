@@ -107,11 +107,15 @@ SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComple
   return cur;
 }
 
-const SubdividedComplex& SubdivisionLadder::at(int r) {
+std::shared_ptr<const SubdividedComplex> SubdivisionLadder::share(int r) {
   assert(r >= 0);
-  if (levels_.empty()) levels_.push_back(identity_subdivision(base_));
+  if (levels_.empty()) {
+    levels_.push_back(
+        std::make_shared<const SubdividedComplex>(identity_subdivision(base_)));
+  }
   while (max_computed() < r) {
-    levels_.push_back(subdivide_once(pool_, levels_.back()));
+    levels_.push_back(std::make_shared<const SubdividedComplex>(
+        subdivide_once(pool_, *levels_.back())));
   }
   return levels_[static_cast<std::size_t>(r)];
 }

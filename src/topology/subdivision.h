@@ -16,6 +16,7 @@
 // "carried by Δ" iff f(ξ) ∈ Δ(carrier(ξ)) for every simplex ξ.
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -62,13 +63,21 @@ std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
 ///
 /// The ladder borrows the pool; it must not outlive it. Not thread-safe:
 /// `at` both grows the memo and interns vertices in the pool.
+///
+/// Levels are held by shared_ptr so a caller can keep a level alive past the
+/// ladder (`share`) — a found decision map's witness domain outlives the
+/// probe that produced it — without deep-copying the complex.
 class SubdivisionLadder {
  public:
   SubdivisionLadder(VertexPool& pool, SimplicialComplex base)
       : pool_(pool), base_(std::move(base)) {}
 
-  /// Ch^r(base). References stay valid as the ladder grows (deque storage).
-  const SubdividedComplex& at(int r);
+  /// Ch^r(base). References stay valid as the ladder grows.
+  const SubdividedComplex& at(int r) { return *share(r); }
+
+  /// Ch^r(base) as a shareable handle; the level stays alive as long as any
+  /// handle does.
+  std::shared_ptr<const SubdividedComplex> share(int r);
 
   /// Highest radius memoized so far; -1 before the first `at` call.
   int max_computed() const { return static_cast<int>(levels_.size()) - 1; }
@@ -76,7 +85,8 @@ class SubdivisionLadder {
  private:
   VertexPool& pool_;
   SimplicialComplex base_;
-  std::deque<SubdividedComplex> levels_;  // levels_[r] == Ch^r(base_)
+  // levels_[r] == Ch^r(base_)
+  std::deque<std::shared_ptr<const SubdividedComplex>> levels_;
 };
 
 }  // namespace trichroma

@@ -150,8 +150,9 @@ TEST(Integration, SolvableVerdictsComeWithProtocols) {
   const SolvabilityResult r = decide_solvability(t);
   ASSERT_EQ(r.verdict, Verdict::Solvable);
   ASSERT_TRUE(r.has_chromatic_witness);
+  ASSERT_NE(r.witness_domain, nullptr);
   EXPECT_TRUE(
-      validate_decision_map(*t.pool, r.witness_domain, t, r.witness, true));
+      validate_decision_map(*t.pool, *r.witness_domain, t, r.witness, true));
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+// The JSON pipeline report: schema stability (a checked-in golden file for
+// the hourglass run) and the basic emitter invariants.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/report.h"
+#include "solver/pipeline.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(TRICHROMA_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Report, HourglassGoldenFile) {
+  // threads = 1 makes the whole report deterministic (engine statuses and
+  // node counts included); redacting timings makes it byte-stable.
+  SolvabilityOptions options;
+  options.threads = 1;
+  const PipelineResult r = run_pipeline(zoo::hourglass(), options);
+  io::ReportJsonOptions json;
+  json.redact_timings = true;
+  EXPECT_EQ(io::to_json(r.report, json), read_golden("hourglass_report.json"));
+}
+
+TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
+  // One solvable (radius > 0), one two-process: the other report shapes.
+  for (Task (*build)() : {+[] { return zoo::subdivision_task(1); },
+                          +[] { return zoo::consensus_2(); }}) {
+    SolvabilityOptions options;
+    options.threads = 1;
+    const PipelineResult r = run_pipeline(build(), options);
+    const std::string json = io::to_json(r.report);
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
+    EXPECT_NE(json.find("\"engines\": ["), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+  }
+}
+
+TEST(Report, RedactTimingsZeroesEveryWallClock) {
+  SolvabilityOptions options;
+  options.threads = 1;
+  const PipelineResult r = run_pipeline(zoo::identity_task(), options);
+  io::ReportJsonOptions json;
+  json.redact_timings = true;
+  const std::string text = io::to_json(r.report, json);
+  EXPECT_EQ(text.find("wall_ms\": 0.000") == std::string::npos, false);
+  // No non-zero wall_ms survives redaction.
+  for (std::size_t pos = text.find("wall_ms"); pos != std::string::npos;
+       pos = text.find("wall_ms", pos + 1)) {
+    EXPECT_EQ(text.substr(pos, std::string("wall_ms\": 0.000").size()),
+              "wall_ms\": 0.000");
+  }
+}
+
+TEST(Report, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(io::json_escape("plain"), "plain");
+  EXPECT_EQ(io::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(io::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(io::json_escape(std::string(1, '\x01')), "\\u0001");
+  // UTF-8 payloads (the reasons contain Δ and ') pass through untouched.
+  EXPECT_EQ(io::json_escape("Δ'"), "Δ'");
+}
+
+}  // namespace
+}  // namespace trichroma

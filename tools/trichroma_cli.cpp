@@ -3,6 +3,7 @@
 //   trichroma demo <name>           print a built-in task in the text format
 //   trichroma check <file>          parse and validate a task description
 //   trichroma decide <file>         run the full solvability pipeline
+//   trichroma batch                 run the pipeline on the whole zoo
 //   trichroma split <file>          canonicalize + split; print T' and report
 //   trichroma dot <file> in|out     GraphViz rendering of a complex
 //   trichroma run <file> [seed]     synthesize a protocol and execute it
@@ -11,13 +12,17 @@
 // The text format is documented in src/io/task_format.h; `demo` is the
 // quickest way to get a template to edit.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/characterization.h"
+#include "io/report.h"
 #include "io/task_format.h"
 #include <algorithm>
 
@@ -49,22 +54,39 @@ std::map<std::string, Task (*)()> demo_tasks() {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: trichroma [--threads N] <command> [args]\n"
+               "usage: trichroma [options] <command> [args]\n"
                "  demo <name>        print a built-in task (see 'list')\n"
                "  list               list built-in tasks\n"
                "  check <file>       parse + validate\n"
                "  decide <file>      solvability verdict (Theorem 5.1)\n"
+               "  batch              decide every zoo task concurrently\n"
                "  split <file>       canonicalize + split; print T'\n"
                "  synth <file>       print the synthesized protocol's decision table\n"
                "  dot <file> in|out  GraphViz for the input/output complex\n"
                "  run <file> [seed]  synthesize and execute a protocol\n"
                "options:\n"
-               "  --threads N        decision-map search workers (default:\n"
-               "                     hardware concurrency; 1 = sequential)\n");
+               "  --threads N        pipeline + search workers (default: hardware\n"
+               "                     concurrency; 1 = sequential ladder)\n"
+               "  --max-radius N     probe decision maps up to Ch^N (default: 2)\n"
+               "  --node-cap N       search-node budget per probe (default: 20000000)\n"
+               "  --report FILE      (decide/synth) write the JSON pipeline report\n"
+               "  --report-dir DIR   (batch) write one JSON report per task\n");
   return 2;
 }
 
+struct CliOptions {
+  SolvabilityOptions solve;
+  std::string report_path;  // decide/synth
+  std::string report_dir;   // batch
+};
+
 Task load(const char* path) { return io::parse_task(io::read_file(path)); }
+
+void maybe_write_report(const SolvabilityResult& r, const CliOptions& cli) {
+  if (cli.report_path.empty() || r.report == nullptr) return;
+  io::write_text_file(cli.report_path, io::to_json(*r.report));
+  std::printf("report:  %s\n", cli.report_path.c_str());
+}
 
 int cmd_check(const Task& task) {
   const auto errors = task.validate();
@@ -77,17 +99,70 @@ int cmd_check(const Task& task) {
   return 1;
 }
 
-int cmd_decide(const Task& task, int threads) {
-  SolvabilityOptions options;
-  options.threads = threads;
-  const SolvabilityResult r = decide_solvability(task, options);
+int cmd_decide(const Task& task, const CliOptions& cli) {
+  const SolvabilityResult r = decide_solvability(task, cli.solve);
   std::printf("%s", task.summary().c_str());
   std::printf("verdict: %s\n", to_string(r.verdict));
   std::printf("reason:  %s\n", r.reason.c_str());
+  maybe_write_report(r, cli);
   if (r.characterization != nullptr) {
-    std::printf("\n%s", r.characterization->report(*task.pool).c_str());
+    // The characterization lane runs on a clone of the task, so the report
+    // must be rendered against its own pool (it may not have run at all if
+    // the chromatic probe concluded first and cancelled it).
+    std::printf("\n%s",
+                r.characterization->report(*r.characterization->canonical.pool)
+                    .c_str());
   }
   return r.verdict == Verdict::Unknown ? 1 : 0;
+}
+
+int cmd_batch(const CliOptions& cli) {
+  const std::vector<zoo::CatalogEntry>& entries = zoo::catalog();
+  // The batch shares the thread budget: W concurrent workers each running a
+  // sequential (threads = 1) pipeline, so per-task reports stay fully
+  // deterministic while the sweep itself is parallel.
+  const int workers = std::min<int>(resolve_search_threads(cli.solve.threads),
+                                    static_cast<int>(entries.size()));
+  SolvabilityOptions per_task = cli.solve;
+  per_task.threads = 1;
+
+  std::vector<PipelineReport> reports(entries.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= entries.size()) return;
+      // Tasks are built inside the worker: each owns a fresh pool, so the
+      // builds are race-free.
+      const Task task = entries[i].build();
+      reports[i] = run_pipeline(task, per_task).report;
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  std::printf("batch: %zu tasks, %d workers\n\n", entries.size(), workers);
+  std::printf("%-24s %-12s %7s %6s %9s  %s\n", "task", "verdict", "radius",
+              "viaT'", "ms", "reason");
+  int unknown = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PipelineReport& r = reports[i];
+    unknown += r.verdict == Verdict::Unknown ? 1 : 0;
+    std::printf("%-24s %-12s %7d %6s %9.1f  %.60s\n", entries[i].name,
+                to_string(r.verdict), r.radius,
+                r.via_characterization ? "yes" : "no", r.total_wall_ms,
+                r.reason.c_str());
+    if (!cli.report_dir.empty()) {
+      io::write_text_file(cli.report_dir + "/" + entries[i].name + ".json",
+                          io::to_json(r));
+    }
+  }
+  if (!cli.report_dir.empty()) {
+    std::printf("\nreports written to %s/\n", cli.report_dir.c_str());
+  }
+  return unknown == 0 ? 0 : 1;
 }
 
 int cmd_split(const Task& task) {
@@ -105,12 +180,11 @@ int cmd_dot(const Task& task, const char* which) {
   return 0;
 }
 
-int cmd_synth(const Task& task, int threads) {
+int cmd_synth(const Task& task, const CliOptions& cli) {
   // Direct chromatic synthesis: find a decision map and print it as the
   // wait-free protocol it encodes.
-  SolvabilityOptions options;
-  options.threads = threads;
-  const SolvabilityResult r = decide_solvability(task, options);
+  const SolvabilityResult r = decide_solvability(task, cli.solve);
+  maybe_write_report(r, cli);
   if (r.verdict != Verdict::Solvable || !r.has_chromatic_witness) {
     std::printf("verdict: %s — nothing to synthesize\nreason: %s\n",
                 to_string(r.verdict), r.reason.c_str());
@@ -169,23 +243,54 @@ int cmd_run(const Task& task, std::uint64_t seed) {
   return valid == runs ? 0 : 1;
 }
 
+bool parse_long(const char* text, long min, long max, long* out) {
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || n < min || n > max) return false;
+  *out = n;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip global options first; everything else is positional.
-  int threads = 0;  // 0 = hardware concurrency
+  CliOptions cli;
   std::vector<char*> args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) return usage();
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 0 || n > 4096) {
+      long n = 0;
+      if (!parse_long(argv[++i], 0, 4096, &n)) {
         std::fprintf(stderr, "error: --threads expects a non-negative integer, got '%s'\n",
                      argv[i]);
         return usage();
       }
-      threads = static_cast<int>(n);
+      cli.solve.threads = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--max-radius") == 0) {
+      if (i + 1 >= argc) return usage();
+      long n = 0;
+      if (!parse_long(argv[++i], 0, 32, &n)) {
+        std::fprintf(stderr, "error: --max-radius expects an integer in 0..32, got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      cli.solve.max_radius = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--node-cap") == 0) {
+      if (i + 1 >= argc) return usage();
+      long n = 0;
+      if (!parse_long(argv[++i], 1, 2'000'000'000'000L, &n)) {
+        std::fprintf(stderr, "error: --node-cap expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      cli.solve.node_cap = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.report_dir = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -202,6 +307,10 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (command == "batch") {
+      if (argc != 2) return usage();
+      return cmd_batch(cli);
+    }
     if (command == "demo") {
       if (argc != 3) return usage();
       const auto demos = demo_tasks();
@@ -216,8 +325,8 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage();
     const Task task = load(argv[2]);
     if (command == "check") return cmd_check(task);
-    if (command == "synth") return cmd_synth(task, threads);
-    if (command == "decide") return cmd_decide(task, threads);
+    if (command == "synth") return cmd_synth(task, cli);
+    if (command == "decide") return cmd_decide(task, cli);
     if (command == "split") return cmd_split(task);
     if (command == "dot") {
       if (argc != 4) return usage();
