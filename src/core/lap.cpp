@@ -2,20 +2,22 @@
 
 #include <optional>
 
-#include "topology/graph.h"
+#include "topology/compiled.h"
 
 namespace trichroma {
 
 std::vector<LapRecord> find_laps(const Task& task, const Simplex& sigma) {
   std::vector<LapRecord> out;
-  const SimplicialComplex image = task.delta.image_complex(sigma);
-  for (VertexId y : image.vertex_ids()) {
-    const SimplicialComplex lk = image.link(y);
-    if (lk.empty()) continue;
-    auto components = connected_components(lk);
-    if (components.size() >= 2) {
-      out.push_back(LapRecord{sigma, y, std::move(components)});
-    }
+  // One compiled snapshot per image; the per-vertex scans then run over the
+  // link bitmasks instead of materializing a SimplicialComplex link each.
+  // Locals are in raw-id order, so the records come out in vertex-id order
+  // exactly as the hash-set implementation produced them.
+  const auto image = CompiledComplex::compile(task.delta.image_complex(sigma));
+  const auto nv = static_cast<CompiledComplex::Local>(image->num_vertices());
+  for (CompiledComplex::Local y = 0; y < nv; ++y) {
+    if (image->link_empty(y)) continue;
+    if (image->link_component_count(y) < 2) continue;
+    out.push_back(LapRecord{sigma, image->vertex(y), image->link_components(y)});
   }
   return out;
 }

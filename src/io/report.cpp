@@ -95,7 +95,7 @@ void emit_engine(Builder& b, const EngineReport& e,
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/1"; }
+const char* report_schema() { return "trichroma.pipeline-report/2"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -125,6 +125,14 @@ std::string to_json(const PipelineReport& report,
   b.field("reason", quote(report.reason));
   b.field("radius", std::to_string(report.radius));
   b.field("via_characterization", bool_str(report.via_characterization));
+  // Explicit tri-state-avoiding marker: the characterization payload being
+  // absent is semantically different from it not having been attempted (at
+  // >= 2 threads the probe can win the race before the lane finishes).
+  // Consumers dispatching on "computed" never have to treat a missing or
+  // null field as meaningful.
+  b.field("characterization", quote(report.characterization_computed
+                                        ? "computed"
+                                        : "not-computed"));
   b.field("total_wall_ms",
           num(options.redact_timings ? 0.0 : report.total_wall_ms));
 

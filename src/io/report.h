@@ -2,11 +2,13 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/1"
-// and consumers should dispatch on it. Version 1:
+//   "schema": "trichroma.pipeline-report/2"
+// and consumers should dispatch on it. Version 2 (v1 + the explicit
+// "characterization" marker — previously an absent payload was
+// indistinguishable from a lane that never ran):
 //
 //   {
-//     "schema": "trichroma.pipeline-report/1",
+//     "schema": "trichroma.pipeline-report/2",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "threads", "threads_resolved",
@@ -15,6 +17,10 @@
 //     "reason": string,
 //     "radius": int,                  // -1 when no map search witness
 //     "via_characterization": bool,
+//     "characterization": "computed" | "not-computed",
+//         // whether the characterization lane finished; "not-computed"
+//         // covers both the disabled route and a lane cancelled by the
+//         // winning probe at threads >= 2
 //     "total_wall_ms": number,
 //     "engines": [ {
 //       "name", "side", "status", "precedence",

@@ -13,15 +13,15 @@
 
 namespace trichroma {
 
-const SimplicialComplex* DeltaImageCache::image_of(const CarrierMap& delta,
-                                                   const Simplex& carrier) {
+const CompiledComplex* DeltaImageCache::image_of(const CarrierMap& delta,
+                                                 const Simplex& carrier) {
   auto it = cache_.find(carrier);
   if (it != cache_.end()) {
     ++hits_;
     return it->second.get();
   }
-  auto owned = std::make_unique<SimplicialComplex>(delta.image_complex(carrier));
-  const SimplicialComplex* ptr = owned.get();
+  auto owned = CompiledComplex::compile(delta.image_complex(carrier));
+  const CompiledComplex* ptr = owned.get();
   cache_.emplace(carrier, std::move(owned));
   return ptr;
 }
@@ -97,7 +97,7 @@ struct Csp {
   // `allowed`. Filtered whenever exactly one member remains unassigned.
   struct NaryConstraint {
     std::vector<std::size_t> vars;
-    const SimplicialComplex* allowed;  // Δ(carrier(simplex))
+    const CompiledComplex* allowed;  // Δ(carrier(simplex))
   };
   std::vector<NaryConstraint> nary;
   std::vector<std::vector<std::size_t>> nary_of;  // per variable
@@ -108,27 +108,41 @@ struct Csp {
 Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
               const Task& task, bool chromatic, DeltaImageCache& images) {
   Csp csp;
-  const std::vector<VertexId> vertices = domain.complex.vertex_ids();
-  csp.n = vertices.size();
-  csp.vertex = vertices;
-  std::unordered_map<VertexId, std::size_t, VertexIdHash> index;
-  for (std::size_t i = 0; i < csp.n; ++i) index.emplace(vertices[i], i);
+  // The compiled snapshot's locals are in raw-id order — identical to the
+  // sorted vertex_ids() order the hash-set path used — so variable indices,
+  // candidate lists, and therefore the whole search trace are unchanged.
+  const std::shared_ptr<const CompiledComplex> snapshot = domain.compiled_view();
+  const CompiledComplex& dc = *snapshot;
+  csp.n = dc.num_vertices();
+  csp.vertex.reserve(csp.n);
+  for (std::size_t i = 0; i < csp.n; ++i) {
+    csp.vertex.push_back(dc.vertex(static_cast<CompiledComplex::Local>(i)));
+  }
 
   auto image_of = [&](const Simplex& carrier) {
     return images.image_of(task.delta, carrier);
   };
+
+  // Per-variable carriers, fetched once: edge/triangle carriers below are
+  // unions of these (carrier_of is exactly that union).
+  std::vector<const Simplex*> carrier_of_var(csp.n);
+  for (std::size_t i = 0; i < csp.n; ++i) {
+    carrier_of_var[i] = &domain.carrier.at(csp.vertex[i]);
+  }
 
   csp.values.resize(csp.n);
   csp.full_domain.resize(csp.n);
   // Interned image of each variable's carrier; two variables with the same
   // (image, color) have identical candidate lists, which is what lets edge
   // masks be shared below.
-  std::vector<const SimplicialComplex*> vertex_image(csp.n);
+  std::vector<const CompiledComplex*> vertex_image(csp.n);
   for (std::size_t i = 0; i < csp.n; ++i) {
-    const Simplex& carrier = domain.carrier.at(vertices[i]);
-    vertex_image[i] = image_of(carrier);
-    for (VertexId w : vertex_image[i]->vertex_ids()) {
-      if (!chromatic || pool.color(w) == pool.color(vertices[i])) {
+    vertex_image[i] = image_of(*carrier_of_var[i]);
+    const CompiledComplex& img = *vertex_image[i];
+    const Color own = chromatic ? pool.color(csp.vertex[i]) : kNoColor;
+    for (std::size_t j = 0; j < img.num_vertices(); ++j) {
+      const VertexId w = img.vertex(static_cast<CompiledComplex::Local>(j));
+      if (!chromatic || pool.color(w) == own) {
         csp.values[i].push_back(w);
       }
     }
@@ -146,27 +160,36 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
   }
 
   csp.binary.resize(csp.n);
-  domain.complex.for_each([&](const Simplex& xi) {
-    if (xi.dim() != 1) return;
-    const SimplicialComplex* allowed = image_of(domain.carrier_of(xi));
-    const std::size_t a = index.at(xi[0]), b = index.at(xi[1]);
+  for (std::size_t e = 0; e < dc.num_edges(); ++e) {
+    // Variable indices ARE the compiled locals.
+    const auto [la, lb] = dc.edge(e);
+    const auto a = static_cast<std::size_t>(la), b = static_cast<std::size_t>(lb);
+    const CompiledComplex* allowed =
+        image_of(carrier_of_var[a]->unite(*carrier_of_var[b]));
     // Masks depend only on the edge's class (images + colors), not on the
     // concrete edge; hit the memo before paying the |values|² contains()
     // sweep. Almost every edge of Ch^r shares its class with many others.
     const DeltaImageCache::EdgeClass key{
         allowed, vertex_image[a], vertex_image[b],
-        chromatic ? pool.color(vertices[a]) : kNoColor,
-        chromatic ? pool.color(vertices[b]) : kNoColor};
+        chromatic ? pool.color(csp.vertex[a]) : kNoColor,
+        chromatic ? pool.color(csp.vertex[b]) : kNoColor};
     const DeltaImageCache::EdgeMasks* masks = images.find_edge_masks(key);
     if (masks == nullptr) {
       DeltaImageCache::EdgeMasks fresh;
       fresh.ab.assign(csp.values[a].size(), 0);
       fresh.ba.assign(csp.values[b].size(), 0);
       for (std::size_t i = 0; i < csp.values[a].size(); ++i) {
+        const CompiledComplex::Local ia = allowed->local(csp.values[a][i]);
+        if (ia == CompiledComplex::kAbsent) continue;
         for (std::size_t j = 0; j < csp.values[b].size(); ++j) {
-          // The image may degenerate to a vertex; both cases must be faces
-          // of Δ(carrier(edge)).
-          if (allowed->contains(Simplex{csp.values[a][i], csp.values[b][j]})) {
+          // The image may degenerate to a vertex (color-agnostic mode);
+          // both cases must be faces of Δ(carrier(edge)).
+          const CompiledComplex::Local ib = allowed->local(csp.values[b][j]);
+          if (ib == CompiledComplex::kAbsent) continue;
+          const bool face =
+              ia == ib || (ia < ib ? allowed->contains_edge(ia, ib)
+                                   : allowed->contains_edge(ib, ia));
+          if (face) {
             fresh.ab[i] |= (Mask{1} << j);
             fresh.ba[j] |= (Mask{1} << i);
           }
@@ -181,18 +204,28 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
     ba.compatible = masks->ba;
     csp.binary[a].push_back(std::move(ab));
     csp.binary[b].push_back(std::move(ba));
-  });
+  }
 
   csp.nary_of.resize(csp.n);
-  domain.complex.for_each([&](const Simplex& xi) {
-    if (xi.dim() < 2) return;
-    Csp::NaryConstraint t;
-    for (VertexId v : xi) t.vars.push_back(index.at(v));
-    t.allowed = image_of(domain.carrier_of(xi));
-    const std::size_t id = csp.nary.size();
-    for (std::size_t var : t.vars) csp.nary_of[var].push_back(id);
-    csp.nary.push_back(std::move(t));
-  });
+  for (int d = 2; d <= dc.dimension(); ++d) {
+    const CompiledComplex::Local* flat = dc.cells_flat(d);
+    const std::size_t stride = static_cast<std::size_t>(d) + 1;
+    for (std::size_t cell = 0; cell < dc.count(d); ++cell) {
+      const CompiledComplex::Local* verts = flat + cell * stride;
+      Csp::NaryConstraint t;
+      t.vars.reserve(stride);
+      Simplex carrier;
+      for (std::size_t i = 0; i < stride; ++i) {
+        const auto var = static_cast<std::size_t>(verts[i]);
+        t.vars.push_back(var);
+        carrier = carrier.unite(*carrier_of_var[var]);
+      }
+      t.allowed = image_of(carrier);
+      const std::size_t id = csp.nary.size();
+      for (std::size_t var : t.vars) csp.nary_of[var].push_back(id);
+      csp.nary.push_back(std::move(t));
+    }
+  }
   return csp;
 }
 

@@ -26,6 +26,7 @@
 
 #include "tasks/task.h"
 #include "topology/chromatic.h"
+#include "topology/compiled.h"
 #include "topology/subdivision.h"
 
 namespace trichroma {
@@ -35,9 +36,13 @@ namespace trichroma {
 /// `delta.image_complex(carrier)` for every subdivision vertex/edge/triangle
 /// carrier; the distinct carriers are simplices of the *base* complex, so
 /// the same handful of images is rebuilt at every radius and again for each
-/// probe mode (chromatic / color-agnostic share Δ). One cache per carrier
-/// map: keys are input simplices, so reusing a cache across different Δs
-/// would alias. Returned pointers stay valid for the cache's lifetime.
+/// probe mode (chromatic / color-agnostic share Δ). Images are interned as
+/// *compiled* snapshots (topology/compiled.h): candidate enumeration walks
+/// the dense vertex table and the constraint compilers answer membership
+/// from the flat edge/triangle tables instead of hashing Simplex keys. One
+/// cache per carrier map: keys are input simplices, so reusing a cache
+/// across different Δs would alias. Returned pointers stay valid for the
+/// cache's lifetime.
 ///
 /// The cache also memoizes the *edge compatibility bitmasks* derived from
 /// the images. A CSP variable's candidate list is fully determined by
@@ -52,7 +57,7 @@ namespace trichroma {
 /// Not thread-safe; the CSP is compiled single-threaded.
 class DeltaImageCache {
  public:
-  const SimplicialComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
+  const CompiledComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
 
   std::size_t size() const { return cache_.size(); }
   std::size_t hits() const { return hits_; }
@@ -61,9 +66,9 @@ class DeltaImageCache {
   /// Identity of one compiled edge constraint (see class comment). Colors
   /// are the endpoints' colors in chromatic mode, kNoColor otherwise.
   struct EdgeClass {
-    const SimplicialComplex* allowed;  // Δ(carrier(edge))
-    const SimplicialComplex* image_a;  // Δ(carrier(a))
-    const SimplicialComplex* image_b;  // Δ(carrier(b))
+    const CompiledComplex* allowed;  // Δ(carrier(edge))
+    const CompiledComplex* image_a;  // Δ(carrier(a))
+    const CompiledComplex* image_b;  // Δ(carrier(b))
     Color color_a;
     Color color_b;
 
@@ -87,7 +92,8 @@ class DeltaImageCache {
     std::size_t operator()(const EdgeClass& k) const noexcept;
   };
 
-  std::unordered_map<Simplex, std::unique_ptr<SimplicialComplex>, SimplexHash> cache_;
+  std::unordered_map<Simplex, std::shared_ptr<const CompiledComplex>, SimplexHash>
+      cache_;
   std::unordered_map<EdgeClass, std::unique_ptr<EdgeMasks>, EdgeClassHash> masks_;
   std::size_t hits_ = 0;
   mutable std::size_t mask_hits_ = 0;

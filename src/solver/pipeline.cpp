@@ -293,6 +293,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   out.characterization = lane.characterization;
   out.cor55 = lane.cor55_result;
   out.cor56 = lane.cor56_result;
+  report.characterization_computed = lane.characterization != nullptr;
 
   const EngineReport* best = best_conclusive(report.engines);
   if (best == nullptr) {

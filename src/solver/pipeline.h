@@ -68,6 +68,14 @@ struct PipelineReport {
   /// Radius of the found decision map (when Solvable via map search).
   int radius = -1;
   bool via_characterization = false;
+  /// Whether the characterization lane ran to completion and produced a
+  /// CharacterizationResult. Can be false even when the route was enabled:
+  /// at >= 2 threads the possibility lane may conclude and cancel the
+  /// impossibility lane before canonicalization finishes. Reports render it
+  /// as an explicit "characterization": "computed" | "not-computed" marker
+  /// so consumers never have to guess whether an absent payload means
+  /// "skipped" or "raced out".
+  bool characterization_computed = false;
   double total_wall_ms = 0.0;
   /// One entry per schedulable engine, in canonical pipeline order (engines
   /// the schedule never started appear with status "skipped").

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "topology/chromatic.h"
+#include "topology/compiled.h"
 #include "topology/graph.h"
 
 namespace trichroma {
@@ -72,10 +73,10 @@ bool Task::is_canonical() const {
 bool Task::is_link_connected() const {
   const int top = input.dimension();
   for (const Simplex& sigma : input.simplices(top)) {
-    const SimplicialComplex image = delta.image_complex(sigma);
-    for (VertexId y : image.vertex_ids()) {
-      const SimplicialComplex lk = image.link(y);
-      if (!lk.empty() && !is_connected(lk)) return false;
+    const auto image = CompiledComplex::compile(delta.image_complex(sigma));
+    const auto nv = static_cast<CompiledComplex::Local>(image->num_vertices());
+    for (CompiledComplex::Local y = 0; y < nv; ++y) {
+      if (!image->link_empty(y) && !image->link_connected(y)) return false;
     }
   }
   return true;

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -85,15 +86,19 @@ class Simplex {
     return Simplex(std::move(out));
   }
 
-  /// All non-empty faces, including the simplex itself.
+  /// All non-empty faces, including the simplex itself. Bounded at 16
+  /// vertices (2^16 faces); larger simplices throw rather than silently
+  /// overflowing the subset mask in release builds.
   std::vector<Simplex> faces() const {
     std::vector<Simplex> out;
     const std::size_t n = verts_.size();
-    assert(n <= 16);
-    for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    if (n > 16) {
+      throw std::length_error("Simplex::faces: more than 16 vertices");
+    }
+    for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
       std::vector<VertexId> face;
       for (std::size_t i = 0; i < n; ++i)
-        if (mask & (1u << i)) face.push_back(verts_[i]);
+        if (mask & (std::size_t{1} << i)) face.push_back(verts_[i]);
       out.emplace_back(std::move(face));
     }
     return out;

@@ -17,6 +17,7 @@ SubdividedComplex identity_subdivision(const SimplicialComplex& base) {
   for (VertexId v : base.vertex_ids()) {
     out.carrier.emplace(v, Simplex::single(v));
   }
+  out.compiled = CompiledComplex::compile(out.complex);
   return out;
 }
 
@@ -32,7 +33,7 @@ void ordered_partitions_rec(const std::vector<VertexId>& items,
   const std::size_t n = items.size();
   // Enumerate non-empty first blocks as bitmasks, in increasing mask order
   // for determinism.
-  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
     std::vector<VertexId> block, rest;
     for (std::size_t i = 0; i < n; ++i) {
       if (mask & (1u << i)) {
@@ -53,7 +54,9 @@ std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
     const std::vector<VertexId>& items) {
   std::vector<std::vector<std::vector<VertexId>>> out;
   std::vector<std::vector<VertexId>> prefix;
-  assert(items.size() <= 8);
+  if (items.size() > 8) {
+    throw std::length_error("ordered_partitions: more than 8 items");
+  }
   ordered_partitions_rec(items, prefix, out);
   return out;
 }
@@ -80,7 +83,10 @@ SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev
   };
 
   // Subdivide every simplex; the union glues correctly along shared faces
-  // because subdivision vertices are interned by (color, view).
+  // because subdivision vertices are interned by (color, view). Each facet
+  // streams both into the mutable hash-set form and into the flat compiled
+  // builder, so the snapshot costs one sort instead of a second traversal.
+  CompiledComplex::Builder builder;
   prev.complex.for_each([&](const Simplex& sigma) {
     for (const auto& partition : ordered_partitions(sigma.vertices())) {
       Simplex view;  // running union B1 ∪ ... ∪ Bj
@@ -92,9 +98,15 @@ SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev
           facet_vertices.push_back(subdivision_vertex(u, view));
         }
       }
-      out.complex.add(Simplex(std::move(facet_vertices)));
+      Simplex facet(std::move(facet_vertices));
+      builder.add(facet);
+      out.complex.add(facet);
     }
   });
+  out.compiled = builder.finish();
+#ifndef NDEBUG
+  out.compiled->debug_verify_against(out.complex);
+#endif
   return out;
 }
 

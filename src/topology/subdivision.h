@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "topology/compiled.h"
 #include "topology/complex.h"
 #include "topology/vertex.h"
 
@@ -30,9 +31,21 @@ struct SubdividedComplex {
   SimplicialComplex complex;
   /// carrier[v] = minimal base simplex containing v.
   std::unordered_map<VertexId, Simplex, VertexIdHash> carrier;
+  /// Frozen flat snapshot of `complex` (see topology/compiled.h). The
+  /// library constructors (identity_subdivision, subdivide_once,
+  /// chromatic_subdivision, SubdivisionLadder) always populate it; hand-built
+  /// instances may leave it null, in which case consumers compile on demand
+  /// via `compiled_view`.
+  std::shared_ptr<const CompiledComplex> compiled;
 
   /// Carrier of a simplex: the union of its vertices' carriers.
   Simplex carrier_of(const Simplex& s) const;
+
+  /// The compiled snapshot, compiling `complex` now if none is attached.
+  /// The returned handle keeps the snapshot alive.
+  std::shared_ptr<const CompiledComplex> compiled_view() const {
+    return compiled != nullptr ? compiled : CompiledComplex::compile(complex);
+  }
 };
 
 /// The identity subdivision (r = 0): each vertex is its own carrier.
@@ -53,7 +66,9 @@ std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
     const std::vector<VertexId>& items);
 
 /// Incremental cache of the subdivision tower Ch^0, Ch^1, Ch^2, ... of one
-/// base complex. `chromatic_subdivision(pool, base, r)` recomputes every
+/// base complex. Every cached level carries its CompiledComplex snapshot,
+/// so the solver's hot paths (CSP compilation, LAP scans) get the flat form
+/// for free alongside the hash-set form. `chromatic_subdivision(pool, base, r)` recomputes every
 /// round from scratch; callers probing a radius ladder (the solvability
 /// engine tries r = 0, 1, 2, ... up to three times per task) instead ask a
 /// ladder, which derives Ch^{r+1} from the memoized Ch^r by a single

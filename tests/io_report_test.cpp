@@ -42,12 +42,41 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/1\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
     EXPECT_NE(json.find("\"engines\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"characterization\": "), std::string::npos);
     EXPECT_EQ(json.back(), '\n');
   }
+}
+
+TEST(Report, CharacterizationMarkerIsExplicitNeverAbsent) {
+  // The marker must be present with a concrete value in BOTH states — a
+  // consumer should never have to interpret a missing field. With the
+  // characterization route disabled the lane cannot run, so the report
+  // must say "not-computed" (the same rendering covers the raced-out case
+  // at threads >= 2, which is inherently timing-dependent).
+  SolvabilityOptions off;
+  off.threads = 1;
+  off.use_characterization = false;
+  const PipelineResult skipped = run_pipeline(zoo::hourglass(), off);
+  EXPECT_EQ(skipped.characterization, nullptr);
+  const std::string skipped_json = io::to_json(skipped.report);
+  EXPECT_NE(skipped_json.find("\"characterization\": \"not-computed\""),
+            std::string::npos);
+  EXPECT_EQ(skipped_json.find("\"characterization\": null"),
+            std::string::npos);
+
+  // Hourglass at threads = 1 runs the impossibility ladder to completion,
+  // so the payload exists and the marker flips.
+  SolvabilityOptions on;
+  on.threads = 1;
+  const PipelineResult computed = run_pipeline(zoo::hourglass(), on);
+  EXPECT_NE(computed.characterization, nullptr);
+  EXPECT_NE(io::to_json(computed.report)
+                .find("\"characterization\": \"computed\""),
+            std::string::npos);
 }
 
 TEST(Report, RedactTimingsZeroesEveryWallClock) {

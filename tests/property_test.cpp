@@ -9,6 +9,7 @@
 #include "tasks/canonical.h"
 #include "tasks/zoo.h"
 #include "topology/chromatic.h"
+#include "topology/compiled.h"
 #include "topology/graph.h"
 #include "topology/homology.h"
 #include "topology/subdivision.h"
@@ -164,6 +165,114 @@ TEST_P(ObstructionSoundness, CspNeverRejectsSolvable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ObstructionSoundness,
                          ::testing::Range<std::uint64_t>(0, 10));
 
+
+// ---------------------------------------------------------------------------
+// Compiled-substrate equivalence: a compile()-ed snapshot must answer every
+// structural query exactly as the hash-set SimplicialComplex it was frozen
+// from — links, stars, facets, membership, component counts — for every
+// complex the solver actually touches (zoo inputs/outputs, Δ images, random
+// tasks, and their chromatic subdivisions at radii 0..2).
+// ---------------------------------------------------------------------------
+
+void expect_compiled_equivalent(const SimplicialComplex& k,
+                                const std::string& what) {
+  const auto c = CompiledComplex::compile(k);
+
+  // Global shape.
+  ASSERT_EQ(c->num_vertices(), k.count(0)) << what;
+  EXPECT_EQ(c->dimension(), k.dimension()) << what;
+  EXPECT_EQ(c->total_count(), k.total_count()) << what;
+  for (int d = 0; d <= k.dimension(); ++d) {
+    EXPECT_EQ(c->count(d), k.count(d)) << what << " dim " << d;
+  }
+  EXPECT_EQ(c->facets(), k.facets()) << what;
+  EXPECT_EQ(c->component_count(), component_count(k)) << what;
+
+  // Locals enumerate the vertices in the deterministic sorted order.
+  const std::vector<VertexId> ids = k.vertex_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto v = static_cast<CompiledComplex::Local>(i);
+    ASSERT_EQ(c->vertex(v), ids[i]) << what;
+
+    // Link structure: emptiness, component count, and the exact component
+    // partition in connected_components' format.
+    const SimplicialComplex link = k.link(ids[i]);
+    EXPECT_EQ(c->link_empty(v), link.empty()) << what;
+    const auto components = connected_components(link);
+    EXPECT_EQ(c->link_component_count(v), components.size()) << what;
+    EXPECT_EQ(c->link_components(v), components) << what;
+    EXPECT_EQ(c->link_connected(v), !link.empty() && components.size() == 1)
+        << what;
+
+    // Star counts per dimension against the hash-set closed star. The
+    // closed star also includes faces *not* containing v, so count via a
+    // direct filter instead.
+    const SimplicialComplex star = k.star(ids[i]);
+    for (int d = 0; d <= k.dimension(); ++d) {
+      std::size_t expected = 0;
+      for (const Simplex& s : star.simplices(d)) {
+        if (s.contains(ids[i])) ++expected;
+      }
+      EXPECT_EQ(c->star_count(v, d), expected) << what << " dim " << d;
+    }
+  }
+
+  // Exact membership on every stored simplex.
+  k.for_each([&](const Simplex& s) {
+    EXPECT_TRUE(c->contains(s)) << what << " size " << s.size();
+  });
+
+#ifndef NDEBUG
+  c->debug_verify_against(k);
+#endif
+}
+
+class CompiledCatalogEquivalence
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompiledCatalogEquivalence, MatchesHashSetForm) {
+  const zoo::CatalogEntry& entry = zoo::catalog()[GetParam()];
+  const Task t = entry.build();
+  expect_compiled_equivalent(t.input, std::string(entry.name) + ".input");
+  expect_compiled_equivalent(t.output, std::string(entry.name) + ".output");
+  // Δ images of the facets: the complexes the LAP/link-connectivity scans
+  // actually compile.
+  for (const Simplex& sigma : t.input.simplices(t.input.dimension())) {
+    expect_compiled_equivalent(t.delta.image_complex(sigma),
+                               std::string(entry.name) + ".image");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CompiledCatalogEquivalence,
+                         ::testing::Range<std::size_t>(0, 21));
+
+TEST(CompiledCatalogEquivalence, CatalogHasTheExpectedSize) {
+  // Keep the Range above in sync with the catalog.
+  EXPECT_EQ(zoo::catalog().size(), 21u);
+}
+
+class CompiledSubdivisionEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompiledSubdivisionEquivalence, MatchesAcrossRadii) {
+  zoo::RandomTaskParams params;
+  params.seed = GetParam() + 2000;
+  params.num_input_facets = 1 + static_cast<int>(GetParam() % 3);
+  const Task t = zoo::random_task(params);
+  for (int r = 0; r <= 2; ++r) {
+    const SubdividedComplex sub = chromatic_subdivision(*t.pool, t.input, r);
+    // The snapshot cached by the subdivision itself must match too (it is
+    // built by streaming facets through the Builder, not by compile()).
+    ASSERT_NE(sub.compiled, nullptr);
+    EXPECT_EQ(sub.compiled->total_count(), sub.complex.total_count());
+    EXPECT_EQ(sub.compiled->facets(), sub.complex.facets());
+    expect_compiled_equivalent(sub.complex,
+                               t.name + ".Ch^" + std::to_string(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledSubdivisionEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 6));
 
 // ---------------------------------------------------------------------------
 // Splitting-order independence: Theorem 4.3 fixes no elimination order; the

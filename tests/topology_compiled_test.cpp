@@ -1,0 +1,195 @@
+// Unit tests for the compiled (flat CSR + bitmask-link) complex snapshot.
+// The equivalence *property* sweep against the hash-set form across the zoo
+// lives in property_test.cpp; this file pins the substrate's own contracts:
+// local numbering, lookup tables, incidence rows, link components, facets,
+// the builder's closure expansion, and the degenerate shapes.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topology/compiled.h"
+#include "topology/graph.h"
+#include "topology/subdivision.h"
+#include "topology/vertex.h"
+
+namespace trichroma {
+namespace {
+
+class CompiledTest : public ::testing::Test {
+ protected:
+  VertexPool pool;
+
+  SimplicialComplex triangle() {
+    SimplicialComplex k;
+    k.add(Simplex{pool.vertex(0, 0), pool.vertex(1, 1), pool.vertex(2, 2)});
+    return k;
+  }
+};
+
+TEST_F(CompiledTest, LocalsAreSortedByRawIdAndRoundTrip) {
+  const SimplicialComplex k = triangle();
+  const auto c = CompiledComplex::compile(k);
+  const std::vector<VertexId> ids = k.vertex_ids();  // sorted by raw id
+  ASSERT_EQ(c->num_vertices(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto li = static_cast<CompiledComplex::Local>(i);
+    EXPECT_EQ(c->vertex(li), ids[i]);
+    EXPECT_EQ(c->local(ids[i]), li);
+    EXPECT_TRUE(c->contains_vertex(ids[i]));
+  }
+  // A pool vertex outside the complex resolves to kAbsent.
+  const VertexId stranger = pool.vertex(0, 99);
+  EXPECT_EQ(c->local(stranger), CompiledComplex::kAbsent);
+  EXPECT_FALSE(c->contains_vertex(stranger));
+}
+
+TEST_F(CompiledTest, EdgeTableIsSortedWithBinaryLookup) {
+  const auto c = CompiledComplex::compile(triangle());
+  ASSERT_EQ(c->num_edges(), 3u);
+  for (std::size_t e = 0; e < c->num_edges(); ++e) {
+    const auto [u, v] = c->edge(e);
+    EXPECT_LT(u, v);
+    EXPECT_EQ(c->edge_index(u, v), static_cast<std::ptrdiff_t>(e));
+    EXPECT_TRUE(c->contains_edge(u, v));
+    if (e > 0) {
+      // Packed keys ascend: the table is sorted.
+      const auto [pu, pv] = c->edge(e - 1);
+      EXPECT_TRUE(pu < u || (pu == u && pv < v));
+    }
+  }
+}
+
+TEST_F(CompiledTest, IncidenceRowsOfASingleTriangle) {
+  const auto c = CompiledComplex::compile(triangle());
+  ASSERT_EQ(c->num_triangles(), 1u);
+  for (CompiledComplex::Local v = 0; v < 3; ++v) {
+    EXPECT_EQ(c->degree(v), 2u);
+    EXPECT_EQ(c->edges_of_count(v), 2u);
+    EXPECT_EQ(c->triangles_of_count(v), 1u);
+    EXPECT_EQ(c->star_count(v, 0), 1u);
+    EXPECT_EQ(c->star_count(v, 1), 2u);
+    EXPECT_EQ(c->star_count(v, 2), 1u);
+    // lk(v) is the opposite edge: one component, connected.
+    EXPECT_FALSE(c->link_empty(v));
+    EXPECT_EQ(c->link_component_count(v), 1u);
+    EXPECT_TRUE(c->link_connected(v));
+  }
+}
+
+TEST_F(CompiledTest, LinkComponentsMatchHashSetLinkOnBowtie) {
+  // Two triangles pinched at a shared vertex w: lk(w) has two components.
+  const VertexId w = pool.vertex(0, 0);
+  const VertexId a1 = pool.vertex(1, 1), a2 = pool.vertex(2, 2);
+  const VertexId b1 = pool.vertex(1, 3), b2 = pool.vertex(2, 4);
+  SimplicialComplex k;
+  k.add(Simplex{w, a1, a2});
+  k.add(Simplex{w, b1, b2});
+  const auto c = CompiledComplex::compile(k);
+  const CompiledComplex::Local lw = c->local(w);
+  ASSERT_NE(lw, CompiledComplex::kAbsent);
+  EXPECT_EQ(c->link_component_count(lw), 2u);
+  EXPECT_FALSE(c->link_connected(lw));
+  EXPECT_EQ(c->link_components(lw), connected_components(k.link(w)));
+  // The pinch point does not disconnect the 1-skeleton.
+  EXPECT_EQ(c->component_count(), 1u);
+}
+
+TEST_F(CompiledTest, IsolatedVertexAndDisconnectedPieces) {
+  SimplicialComplex k;
+  const VertexId lone = pool.vertex(0, 7);
+  k.add(Simplex::single(lone));
+  k.add(Simplex{pool.vertex(1, 1), pool.vertex(2, 2)});
+  const auto c = CompiledComplex::compile(k);
+  EXPECT_EQ(c->component_count(), 2u);
+  const CompiledComplex::Local ll = c->local(lone);
+  EXPECT_TRUE(c->link_empty(ll));
+  EXPECT_EQ(c->link_component_count(ll), 0u);
+  EXPECT_FALSE(c->link_connected(ll));
+  EXPECT_EQ(c->facets(), k.facets());
+}
+
+TEST_F(CompiledTest, FacetsMatchAcrossMixedDimensions) {
+  // A triangle with a dangling edge and a dangling vertex: facets must be
+  // exactly the maximal simplices, in sorted order.
+  SimplicialComplex k = triangle();
+  k.add(Simplex{pool.vertex(0, 0), pool.vertex(1, 5)});
+  k.add(Simplex::single(pool.vertex(2, 6)));
+  const auto c = CompiledComplex::compile(k);
+  EXPECT_EQ(c->facets(), k.facets());
+  EXPECT_EQ(c->dimension(), k.dimension());
+  for (int d = 0; d <= k.dimension(); ++d) EXPECT_EQ(c->count(d), k.count(d));
+  EXPECT_EQ(c->total_count(), k.total_count());
+}
+
+TEST_F(CompiledTest, ContainsAgreesWithSourceOnEveryStoredSimplex) {
+  const SubdividedComplex sub = chromatic_subdivision(pool, triangle(), 1);
+  const auto c = CompiledComplex::compile(sub.complex);
+  sub.complex.for_each(
+      [&](const Simplex& s) { EXPECT_TRUE(c->contains(s)) << s.size(); });
+  // Simplices over foreign vertices are rejected, not mis-resolved.
+  EXPECT_FALSE(c->contains(Simplex{pool.vertex(0, 0), pool.vertex(1, 1)}));
+}
+
+TEST_F(CompiledTest, BuilderAddExpandsClosureLikeComplexAdd) {
+  // Streaming facets through Builder::add must equal compile() of the
+  // closure-completed hash-set form.
+  const VertexId a = pool.vertex(0, 0), b = pool.vertex(1, 1),
+                 c0 = pool.vertex(2, 2), d = pool.vertex(2, 3);
+  CompiledComplex::Builder builder;
+  builder.add(Simplex{a, b, c0});
+  builder.add(Simplex{a, b, d});
+  builder.add(Simplex{a, b, c0});  // duplicates are fine
+  const auto built = builder.finish();
+
+  SimplicialComplex k;
+  k.add(Simplex{a, b, c0});
+  k.add(Simplex{a, b, d});
+  built->debug_verify_against(k);
+  EXPECT_EQ(built->num_vertices(), 4u);
+  EXPECT_EQ(built->num_edges(), 5u);
+  EXPECT_EQ(built->num_triangles(), 2u);
+  EXPECT_EQ(built->facets(), k.facets());
+}
+
+TEST_F(CompiledTest, DimensionThreeCellsAreStoredAndQueryable) {
+  // A tetrahedron (4-process shape): dim-3 cells land in the flat tables.
+  SimplicialComplex k;
+  const Simplex tet{pool.vertex(0, 0), pool.vertex(1, 1), pool.vertex(2, 2),
+                    pool.vertex(3, 3)};
+  k.add(tet);
+  const auto c = CompiledComplex::compile(k);
+  EXPECT_EQ(c->dimension(), 3);
+  EXPECT_EQ(c->count(3), 1u);
+  EXPECT_TRUE(c->contains(tet));
+  const CompiledComplex::Local* flat = c->cells_flat(3);
+  ASSERT_NE(flat, nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c->vertex(flat[i]), tet[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(c->facets(), k.facets());
+}
+
+TEST_F(CompiledTest, EmptyComplexCompiles) {
+  const auto c = CompiledComplex::compile(SimplicialComplex{});
+  EXPECT_EQ(c->num_vertices(), 0u);
+  EXPECT_EQ(c->num_edges(), 0u);
+  EXPECT_EQ(c->dimension(), -1);
+  EXPECT_EQ(c->component_count(), 0u);
+  EXPECT_TRUE(c->facets().empty());
+}
+
+TEST_F(CompiledTest, SubdivisionCarriesACompiledSnapshot) {
+  // subdivide_once emits into the builder as it streams facets; the cached
+  // snapshot must be the exact compiled form of the hash-set complex, and
+  // compiled_view() must hand it out without recompiling.
+  const SubdividedComplex sub = chromatic_subdivision(pool, triangle(), 2);
+  ASSERT_NE(sub.compiled, nullptr);
+  sub.compiled->debug_verify_against(sub.complex);
+  EXPECT_EQ(sub.compiled_view().get(), sub.compiled.get());
+  EXPECT_EQ(sub.compiled->count(2), sub.complex.count(2));
+  EXPECT_EQ(sub.compiled->count(2), 169u);  // 13^2 facets of Ch^2(σ²)
+}
+
+}  // namespace
+}  // namespace trichroma

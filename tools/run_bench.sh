@@ -1,25 +1,46 @@
 #!/usr/bin/env bash
-# Runs the engine benchmark suite and writes machine-readable results to
-# BENCH_engine.json at the repo root (committed, so engine-perf changes show
-# up as a diff). Usage:
+# Runs a benchmark suite and writes machine-readable results to
+# BENCH_<suite>.json at the repo root (committed, so perf changes show up as
+# a diff). Usage:
 #
-#   tools/run_bench.sh [build-dir] [extra google-benchmark flags...]
+#   tools/run_bench.sh [suite] [build-dir] [extra google-benchmark flags...]
 #
-# e.g.  tools/run_bench.sh build --benchmark_filter=BM_DecisionMapSearch
+# Suites:
+#   engine     bench_engine_perf  -> BENCH_engine.json     (default)
+#   substrate  bench_substrate    -> BENCH_substrate.json
+#
+# e.g.  tools/run_bench.sh engine build --benchmark_filter=BM_DecisionMapSearch
+#       tools/run_bench.sh substrate build-release --benchmark_filter=Compiled
+#
+# The first argument is treated as a build dir (legacy calling convention)
+# when it is not a known suite name.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+suite="engine"
+case "${1:-}" in
+  engine|substrate)
+    suite="$1"
+    shift
+    ;;
+esac
 build_dir="${1:-$repo_root/build}"
 shift || true
 
-bench="$build_dir/bench/bench_engine_perf"
+case "$suite" in
+  engine) target="bench_engine_perf" ;;
+  substrate) target="bench_substrate" ;;
+esac
+
+bench="$build_dir/bench/$target"
 if [[ ! -x "$bench" ]]; then
   echo "error: $bench not found or not executable." >&2
-  echo "Build it first:  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j --target bench_engine_perf" >&2
+  echo "Build it first:  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j --target $target" >&2
   exit 1
 fi
 
-out="$repo_root/BENCH_engine.json"
+out="$repo_root/BENCH_$suite.json"
 "$bench" \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
