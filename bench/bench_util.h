@@ -11,6 +11,23 @@
 
 namespace trichroma::benchutil {
 
+/// Build type of the code under test, stamped into the JSON context as
+/// "trichroma_build_type". google-benchmark's own "library_build_type"
+/// field describes the *benchmark library* — the system package ships it
+/// without NDEBUG, so that field reads "debug" no matter how this repo was
+/// compiled. Committed BENCH_*.json files must show release here.
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+inline void add_build_type_context() {
+  benchmark::AddCustomContext("trichroma_build_type", build_type());
+}
+
 inline void header(const std::string& figure, const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure.c_str(), title.c_str());
@@ -26,6 +43,7 @@ template <typename F>
 int bench_main(int argc, char** argv, F&& reproduce) {
   reproduce();
   std::printf("\n--- engine timings (google-benchmark) ---\n");
+  add_build_type_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -95,7 +95,7 @@ void emit_engine(Builder& b, const EngineReport& e,
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/2"; }
+const char* report_schema() { return "trichroma.pipeline-report/3"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -115,12 +115,15 @@ std::string to_json(const PipelineReport& report,
   b.field("node_cap", std::to_string(report.options.node_cap));
   b.field("use_characterization",
           bool_str(report.options.use_characterization));
-  b.field("threads", std::to_string(report.options.threads));
-  b.field("threads_resolved", std::to_string(report.threads_resolved));
   b.field("reuse_subdivisions", bool_str(report.options.reuse_subdivisions));
   b.field("reuse_images", bool_str(report.options.reuse_images));
   b.close('}');
 
+  // Schema v3 dropped the options' thread fields: every solver quantity in
+  // this report is thread-count independent (canonical prefix accounting),
+  // so recording the worker count only created spurious diffs between
+  // otherwise identical runs. The resolved lane schedule replaces them.
+  b.field("schedule", quote(report.schedule));
   b.field("verdict", quote(to_string(report.verdict)));
   b.field("reason", quote(report.reason));
   b.field("radius", std::to_string(report.radius));

@@ -2,17 +2,21 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/2"
-// and consumers should dispatch on it. Version 2 (v1 + the explicit
-// "characterization" marker — previously an absent payload was
-// indistinguishable from a lane that never ran):
+//   "schema": "trichroma.pipeline-report/3"
+// and consumers should dispatch on it. Version 3 dropped the options'
+// "threads"/"threads_resolved" fields (every solver quantity in the report
+// is thread-count independent since the canonical prefix accounting; the
+// worker count only produced spurious diffs) and added the resolved lane
+// "schedule". Version 2 was v1 + the explicit "characterization" marker —
+// previously an absent payload was indistinguishable from a lane that
+// never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/2",
+//     "schema": "trichroma.pipeline-report/3",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
-//                  "threads", "threads_resolved",
 //                  "reuse_subdivisions", "reuse_images" },
+//     "schedule": "exact" | "ladder" | "racing",
 //     "verdict": "SOLVABLE" | "UNSOLVABLE" | "UNKNOWN",
 //     "reason": string,
 //     "radius": int,                  // -1 when no map search witness
@@ -37,8 +41,9 @@
 //
 // The emitter is hand-rolled (no third-party JSON dependency) and produces
 // deterministic, stably ordered output — with `redact_timings` the document
-// is byte-for-byte reproducible at threads = 1, which is what the golden
-// test pins.
+// is byte-for-byte reproducible at every thread count under the "exact"
+// and "ladder" schedules (the batch driver relies on this), and at
+// threads = 1 under "racing", which is what the golden test pins.
 
 #include <string>
 

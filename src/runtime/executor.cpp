@@ -1,0 +1,376 @@
+#include "runtime/executor.h"
+
+#include <cassert>
+#include <thread>
+#include <utility>
+
+namespace trichroma {
+
+namespace exec_detail {
+
+// Shared state of one JobGroup. Kept alive by the handle, by tickets in
+// flight, and by the parent's child list (pruned when the handle dies), so
+// a stale ticket can never dangle. The invariants:
+//   * `queue` holds submitted-but-unstarted closures (FIFO).
+//   * `outstanding` counts this group's AND every descendant group's
+//     queued+running tasks; it is incremented along the whole ancestor
+//     chain at submit and decremented along it at completion.
+//   * `epoch` bumps (under `mutex`) on every subtree event a waiter could
+//     care about — new task, task finished — and `cv` is notified, so
+//     wait() can sleep without missing work it should help with.
+// Core mutexes are never held two at a time (ancestor walks lock one link
+// per step), which rules out lock-order inversions by construction.
+struct GroupCore {
+  explicit GroupCore(Executor& ex) : executor(&ex) {}
+
+  Executor* executor;
+  std::shared_ptr<GroupCore> parent;  // null for roots
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::shared_ptr<GroupCore>> children;
+  std::size_t outstanding = 0;  // subtree tasks queued or running
+  std::uint64_t epoch = 0;
+  std::exception_ptr first_error;
+  bool error_reported = false;
+
+  CancellationToken token;
+
+  /// Bumps the event epoch of this core and every ancestor, waking waiters.
+  static void signal_chain(GroupCore* core) {
+    for (GroupCore* c = core; c != nullptr; c = c->parent.get()) {
+      std::lock_guard<std::mutex> lock(c->mutex);
+      ++c->epoch;
+      c->cv.notify_all();
+    }
+  }
+
+  static void add_outstanding(GroupCore* core) {
+    for (GroupCore* c = core; c != nullptr; c = c->parent.get()) {
+      std::lock_guard<std::mutex> lock(c->mutex);
+      ++c->outstanding;
+      ++c->epoch;
+      c->cv.notify_all();
+    }
+  }
+
+  static void finish_one(GroupCore* core) {
+    for (GroupCore* c = core; c != nullptr; c = c->parent.get()) {
+      std::lock_guard<std::mutex> lock(c->mutex);
+      assert(c->outstanding > 0);
+      --c->outstanding;
+      ++c->epoch;
+      c->cv.notify_all();
+    }
+  }
+
+  /// Pops one queued task from this group or (depth-first) any descendant.
+  /// Returns the owning core alongside the closure so completion is charged
+  /// to the right group.
+  static bool pop_subtree(const std::shared_ptr<GroupCore>& core,
+                          std::shared_ptr<GroupCore>* from,
+                          std::function<void()>* fn) {
+    std::vector<std::shared_ptr<GroupCore>> kids;
+    {
+      std::lock_guard<std::mutex> lock(core->mutex);
+      if (!core->queue.empty()) {
+        *fn = std::move(core->queue.front());
+        core->queue.pop_front();
+        *from = core;
+        return true;
+      }
+      kids = core->children;
+    }
+    for (const auto& kid : kids) {
+      if (pop_subtree(kid, from, fn)) return true;
+    }
+    return false;
+  }
+
+  /// Runs one popped task: skipped outright when the group is cancelled,
+  /// otherwise executed with the first exception captured (which also
+  /// cancels the rest of the group — its siblings would only burn budget).
+  static void run_task(const std::shared_ptr<GroupCore>& core,
+                       std::function<void()> fn) {
+    if (!core->token.stop_requested()) {
+      try {
+        fn();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(core->mutex);
+          if (core->first_error == nullptr) {
+            core->first_error = std::current_exception();
+          }
+        }
+        core->token.request_stop();
+      }
+    }
+    finish_one(core.get());
+  }
+
+  /// Pops one task addressed by a ticket (this group only; workers don't
+  /// recurse — descendants post their own tickets). No-op when stale.
+  static void run_ticket(const std::shared_ptr<GroupCore>& core) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(core->mutex);
+      if (core->queue.empty()) return;  // a helper beat us to it
+      fn = std::move(core->queue.front());
+      core->queue.pop_front();
+    }
+    run_task(core, std::move(fn));
+  }
+
+  void cancel_tree() {
+    token.request_stop();
+    std::vector<std::shared_ptr<GroupCore>> kids;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      kids = children;
+    }
+    for (const auto& kid : kids) kid->cancel_tree();
+  }
+
+  /// Blocks until the subtree is drained, helping with queued work.
+  void wait_all(const std::shared_ptr<GroupCore>& self) {
+    assert(self.get() == this);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (outstanding == 0) return;
+      }
+      std::shared_ptr<GroupCore> from;
+      std::function<void()> fn;
+      if (pop_subtree(self, &from, &fn)) {
+        run_task(from, std::move(fn));
+        continue;
+      }
+      // Nothing to help with: every subtree task is running elsewhere.
+      // Sleep until the next subtree event (completion or new work).
+      std::unique_lock<std::mutex> lock(mutex);
+      if (outstanding == 0) return;
+      const std::uint64_t seen = epoch;
+      cv.wait(lock, [&] { return epoch != seen; });
+    }
+  }
+};
+
+struct WorkerSlot {
+  std::mutex mutex;
+  std::deque<Executor::Ticket> deque;
+  std::thread thread;
+};
+
+namespace {
+struct TlsBinding {
+  Executor* owner = nullptr;
+  int index = -1;
+};
+thread_local TlsBinding tls_binding;
+}  // namespace
+
+}  // namespace exec_detail
+
+using exec_detail::GroupCore;
+using exec_detail::WorkerSlot;
+
+// ---------------------------------------------------------------------------
+// JobGroup
+// ---------------------------------------------------------------------------
+
+JobGroup::JobGroup(Executor& executor, JobGroup* parent)
+    : core_(std::make_shared<GroupCore>(executor)) {
+  if (parent != nullptr) {
+    assert(&executor == parent->core_->executor);
+    core_->parent = parent->core_;
+    {
+      std::lock_guard<std::mutex> lock(parent->core_->mutex);
+      parent->core_->children.push_back(core_);
+    }
+    if (parent->core_->token.stop_requested()) core_->token.request_stop();
+  }
+}
+
+JobGroup::~JobGroup() {
+  core_->wait_all(core_);
+  if (core_->parent != nullptr) {
+    std::lock_guard<std::mutex> lock(core_->parent->mutex);
+    auto& siblings = core_->parent->children;
+    for (auto it = siblings.begin(); it != siblings.end(); ++it) {
+      if (it->get() == core_.get()) {
+        siblings.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void JobGroup::submit(std::function<void()> fn) {
+  if (core_->token.stop_requested()) return;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    core_->queue.push_back(std::move(fn));
+  }
+  GroupCore::add_outstanding(core_.get());
+  core_->executor->post_ticket(core_);
+}
+
+void JobGroup::wait() {
+  core_->wait_all(core_);
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    if (!core_->error_reported && core_->first_error != nullptr) {
+      core_->error_reported = true;
+      err = core_->first_error;
+    }
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void JobGroup::cancel() { core_->cancel_tree(); }
+
+bool JobGroup::cancelled() const { return core_->token.stop_requested(); }
+
+CancellationToken& JobGroup::token() { return core_->token; }
+
+const std::atomic<bool>* JobGroup::cancel_flag() const {
+  return core_->token.flag();
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(int workers) {
+  slots_.reserve(kMaxWorkers);
+  for (int i = 0; i < kMaxWorkers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  ensure_workers(workers);
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_ = true;
+    sleep_cv_.notify_all();
+  }
+  const int spawned = spawned_.load();
+  for (int i = 0; i < spawned; ++i) {
+    if (slots_[static_cast<std::size_t>(i)]->thread.joinable()) {
+      slots_[static_cast<std::size_t>(i)]->thread.join();
+    }
+  }
+}
+
+Executor& Executor::global() {
+  // Leaked on purpose: worker threads must not be joined from static
+  // destructors (tasks could still reference other statics).
+  static Executor* instance = new Executor(0);
+  return *instance;
+}
+
+void Executor::ensure_workers(int n) {
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  if (n <= spawned_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  int spawned = spawned_.load(std::memory_order_relaxed);
+  while (spawned < n) {
+    slots_[static_cast<std::size_t>(spawned)]->thread =
+        std::thread([this, spawned] { worker_loop(spawned); });
+    ++spawned;
+    spawned_.store(spawned, std::memory_order_release);
+  }
+}
+
+int Executor::workers_spawned() const {
+  return spawned_.load(std::memory_order_acquire);
+}
+
+int Executor::current_worker_index() const {
+  const exec_detail::TlsBinding& tls = exec_detail::tls_binding;
+  return tls.owner == this ? tls.index : -1;
+}
+
+void Executor::post_ticket(Ticket core) {
+  const int self = current_worker_index();
+  if (self >= 0) {
+    WorkerSlot& slot = *slots_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.deque.push_back(std::move(core));
+  } else if (spawned_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_.push_back(std::move(core));
+  } else {
+    // No workers: nobody would ever drain a ticket, and the submitting
+    // thread's wait() pops straight from the group queue. Drop it.
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  ++work_version_;
+  sleep_cv_.notify_all();
+}
+
+Executor::Ticket Executor::next_ticket(int self) {
+  WorkerSlot& own = *slots_[static_cast<std::size_t>(self)];
+  {
+    // Own deque: back (LIFO — the task most recently queued here).
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      Ticket t = std::move(own.deque.back());
+      own.deque.pop_back();
+      return t;
+    }
+  }
+  {
+    // Injection deque: front (FIFO across external submitters).
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!inject_.empty()) {
+      Ticket t = std::move(inject_.front());
+      inject_.pop_front();
+      return t;
+    }
+  }
+  // Steal: front of the other workers' deques, round-robin from self+1.
+  const int spawned = spawned_.load(std::memory_order_acquire);
+  for (int d = 1; d < spawned; ++d) {
+    const int victim = (self + d) % spawned;
+    WorkerSlot& slot = *slots_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.deque.empty()) {
+      Ticket t = std::move(slot.deque.front());
+      slot.deque.pop_front();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::worker_loop(int index) {
+  exec_detail::tls_binding = {this, index};
+  for (;;) {
+    if (Ticket t = next_ticket(index)) {
+      GroupCore::run_ticket(t);
+      continue;
+    }
+    std::uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      if (stopping_) return;
+      seen = work_version_;
+    }
+    // Re-scan after recording the version: a ticket posted in between bumps
+    // the version, so the wait below cannot miss it.
+    if (Ticket t = next_ticket(index)) {
+      GroupCore::run_ticket(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [&] { return stopping_ || work_version_ != seen; });
+    if (stopping_) return;
+  }
+}
+
+}  // namespace trichroma

@@ -1,0 +1,91 @@
+#include "solver/batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/executor.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+
+int resolve_batch_jobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+BatchResult run_batch(const BatchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<zoo::CatalogEntry>& all = zoo::catalog();
+
+  std::vector<const zoo::CatalogEntry*> selected;
+  if (options.only.empty()) {
+    selected.reserve(all.size());
+    for (const zoo::CatalogEntry& e : all) selected.push_back(&e);
+  } else {
+    // Catalog order, not request order: the output contract is positional.
+    for (const std::string& name : options.only) {
+      bool known = false;
+      for (const zoo::CatalogEntry& e : all) known |= name == e.name;
+      if (!known) throw std::invalid_argument("unknown catalog task: " + name);
+    }
+    for (const zoo::CatalogEntry& e : all) {
+      for (const std::string& name : options.only) {
+        if (name == e.name) {
+          selected.push_back(&e);
+          break;
+        }
+      }
+    }
+  }
+
+  SolvabilityOptions per_task = options.solve;
+  per_task.schedule = PipelineSchedule::kLadder;
+
+  BatchResult out;
+  out.tasks.resize(selected.size());
+  const int jobs = resolve_batch_jobs(options.jobs);
+
+  // One self-scheduling loop per driver: `jobs - 1` on the executor plus the
+  // caller, so at most `jobs` pipelines run at once while idle workers still
+  // steal the searches' inner prefix jobs. Tasks are built inside the loop —
+  // each owns a fresh pool, so the builds are race-free — and each writes
+  // only its own slot.
+  std::atomic<std::size_t> next{0};
+  auto drive = [&selected, &per_task, &out, &next] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= selected.size()) return;
+      const Task task = selected[i]->build();
+      out.tasks[i].name = selected[i]->name;
+      out.tasks[i].report = run_pipeline(task, per_task).report;
+    }
+  };
+  if (jobs > 1 && selected.size() > 1) {
+    Executor& executor = Executor::global();
+    executor.ensure_workers(jobs - 1);
+    JobGroup group(executor);
+    const std::size_t extra =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs) - 1,
+                              selected.size() - 1);
+    for (std::size_t w = 0; w < extra; ++w) group.submit(drive);
+    drive();
+    group.wait();
+  } else {
+    drive();
+  }
+
+  for (const BatchTaskResult& t : out.tasks) {
+    out.unknown += t.report.verdict == Verdict::Unknown ? 1 : 0;
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return out;
+}
+
+}  // namespace trichroma

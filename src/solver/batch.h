@@ -1,0 +1,60 @@
+#pragma once
+// The parallel batch driver: run the whole zoo catalog (or a named subset)
+// through the solvability pipeline, `jobs` tasks at a time, on the shared
+// work-stealing executor.
+//
+// Concurrency model. The driver submits `jobs - 1` task-loop jobs to the
+// executor and runs one loop itself (the caller is always a worker), so at
+// most `jobs` whole-task pipelines are in flight at once. Each pipeline is
+// self-contained — every task is built fresh inside its loop iteration, so
+// it owns its vertex pool, and each engine run owns its SubdivisionLadder
+// and DeltaImageCache — while the decision-map searches *inside* a pipeline
+// still split into prefix jobs that idle workers steal. Outer and inner
+// parallelism share one pool; nothing is oversubscribed.
+//
+// Determinism. Per-task pipelines run under the kLadder schedule, whose
+// engine statuses are a pure function of the task and budget, and the
+// searches inside use canonical prefix accounting — so every field of every
+// report except wall-clock timings is identical for any `jobs` value and
+// any search thread count. Results come back in catalog order. Rendering
+// the reports with ReportJsonOptions::redact_timings therefore yields
+// byte-identical files no matter how the batch was scheduled; that is the
+// contract the batch determinism test and the CI smoke pin.
+
+#include <string>
+#include <vector>
+
+#include "solver/pipeline.h"
+
+namespace trichroma {
+
+struct BatchOptions {
+  /// Per-task pipeline budget. The schedule is forced to kLadder (see the
+  /// determinism note above); everything else is honored as-is.
+  SolvabilityOptions solve;
+  /// Concurrent whole-task pipeline jobs. 0 = hardware concurrency.
+  int jobs = 1;
+  /// Restrict to these catalog names (empty = the whole catalog). Unknown
+  /// names throw std::invalid_argument.
+  std::vector<std::string> only;
+};
+
+struct BatchTaskResult {
+  std::string name;
+  PipelineReport report;
+};
+
+struct BatchResult {
+  /// One entry per selected task, in catalog order.
+  std::vector<BatchTaskResult> tasks;
+  double wall_ms = 0.0;
+  /// Number of tasks whose verdict stayed Unknown.
+  int unknown = 0;
+};
+
+/// 0 → hardware concurrency, else the request unchanged.
+int resolve_batch_jobs(int requested);
+
+BatchResult run_batch(const BatchOptions& options);
+
+}  // namespace trichroma

@@ -22,6 +22,7 @@
 
 #include "core/characterization.h"
 #include "core/obstructions.h"
+#include "runtime/cancellation.h"
 #include "solver/map_search.h"
 #include "tasks/task.h"
 
@@ -31,22 +32,8 @@ enum class Verdict { Solvable, Unsolvable, Unknown };
 
 const char* to_string(Verdict v);
 
-/// Cooperative cancellation: the scheduler trips the flag, engines poll it
-/// at every search node (and between probe radii) and unwind promptly.
-class CancellationToken {
- public:
-  CancellationToken() = default;
-  CancellationToken(const CancellationToken&) = delete;
-  CancellationToken& operator=(const CancellationToken&) = delete;
-
-  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
-  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
-  /// The raw flag, for plumbing into MapSearchOptions / connectivity_csp.
-  const std::atomic<bool>* flag() const { return &stop_; }
-
- private:
-  std::atomic<bool> stop_{false};
-};
+// CancellationToken moved to runtime/cancellation.h (the executor hands one
+// to every JobGroup); engines keep using it through this header.
 
 /// Which side of the semi-decision pair an engine argues. Exact engines
 /// (Proposition 5.4 for two processes) decide both directions; Support

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "runtime/executor.h"
 
 namespace trichroma {
 
@@ -70,12 +71,16 @@ namespace {
 // radius.
 //
 // Parallel mode partitions the space by decision prefixes: the top levels
-// of the (MRV-ordered) search tree are expanded breadth-first into disjoint
-// partial assignments, which a pool of workers then races to completion.
-// The prefixes cover the whole tree, so "some worker finds a map" and
-// "every worker exhausts its subtree" are both complete answers, and the
-// found/exhausted verdict matches the sequential one (the witness may be a
-// different valid map — whichever worker wins the race).
+// of the (MRV-ordered) search tree are expanded breadth-first into a FIXED
+// set of ~kSplitTargetJobs disjoint partial assignments in DFS order — the
+// decomposition never looks at the worker count. Workers (the shared
+// executor's pool) race the prefixes opportunistically under an advisory
+// global budget; a canonical accounting pass then replays the sequential
+// budget arithmetic over the DFS-ordered job list, re-running any job the
+// race aborted. The reported verdict, witness AND nodes_explored are
+// therefore bit-identical for every thread count: parallelism can only
+// change how fast phase 2 warms the cache of per-job outcomes, never what
+// the canonical walk concludes from them.
 
 using Mask = std::uint64_t;  // domains in this codebase are small (< 64)
 constexpr std::size_t kMaxDomain = 64;
@@ -229,25 +234,51 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
   return csp;
 }
 
-// State shared by every worker of one parallel (or sequential) search.
+constexpr std::size_t kNoBudget = static_cast<std::size_t>(-1);
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+// Node charges are counted locally and reconciled against budgets only at
+// flush boundaries (every kNodeFlushBatch-th charge). Coarse flushing keeps
+// the shared counter off the hot path, and the canonical accounting below
+// is defined in terms of the same boundaries — which is what makes
+// nodes_explored and cap verdicts bit-identical at every worker count.
+constexpr std::size_t kNodeFlushBatch = 256;
+// The prefix decomposition is fixed, never scaled by the worker count: the
+// job list is a pure function of the CSP.
+constexpr std::size_t kSplitTargetJobs = 64;
+constexpr std::size_t kMaxPrefixDepth = 6;
+
+// State shared by the phase-2 workers of one parallel search. Everything
+// here is *advisory*: it bounds the total work and lets losing workers
+// abort early, but the reported result is recomputed canonically in phase
+// 3, so none of these races can leak into the output.
 struct SharedSearch {
-  std::atomic<std::size_t> nodes{0};
-  std::atomic<bool> stop{false};      // found a map, or cap hit: unwind
-  std::atomic<bool> cap_hit{false};
-  std::atomic<bool> found{false};
+  std::atomic<std::size_t> charged{0};    // flushed charges, all workers
+  std::atomic<bool> stop{false};          // budget gone or external cancel
+  std::atomic<std::size_t> best{kNoJob};  // lowest solved job index so far
   // Caller-provided cancellation flag (MapSearchOptions::cancel), or null.
   const std::atomic<bool>* external = nullptr;
   std::atomic<bool> ext_cancelled{false};
-  std::mutex winner_mutex;
-  std::vector<int> winner;            // assignment of the first finisher
 };
 
 struct Solver {
   const Csp& csp;
-  SharedSearch& shared;
-  std::size_t node_cap;
   bool dynamic_ordering = true;
-  bool aborted = false;  // unwound because of the stop flag or the cap
+
+  // Budgets, all checked at flush boundaries. `local_budget` is the
+  // canonical per-run budget (phase-3 and sequential runs). `shared` —
+  // phase-2 workers only — adds the advisory global budget, the stop flag
+  // and the best-index race. `external` is the caller's cancel flag.
+  std::size_t local_budget = kNoBudget;
+  std::size_t flush_batch = kNodeFlushBatch;
+  std::size_t global_cap = kNoBudget;
+  SharedSearch* shared = nullptr;
+  std::size_t job_index = kNoJob;
+  const std::atomic<bool>* external = nullptr;
+
+  bool aborted = false;   // unwound at a flush boundary
+  bool ext_seen = false;  // the abort was the external cancel
+  std::size_t total_nodes = 0;
+  std::size_t unflushed = 0;
 
   std::vector<Mask> domain;        // current live values
   std::vector<int> assigned;       // value index or -1
@@ -255,8 +286,7 @@ struct Solver {
   std::vector<std::pair<std::size_t, Mask>> trail;
   std::vector<std::size_t> trail_marks;
 
-  Solver(const Csp& c, SharedSearch& s, std::size_t cap, bool mrv)
-      : csp(c), shared(s), node_cap(cap), dynamic_ordering(mrv) {
+  Solver(const Csp& c, bool mrv) : csp(c), dynamic_ordering(mrv) {
     domain = csp.full_domain;
     assigned.assign(csp.n, -1);
   }
@@ -327,26 +357,64 @@ struct Solver {
     return best;
   }
 
-  /// Counts a node against the shared budget; false when the search must
-  /// unwind (budget gone, cancelled from outside, or another worker
-  /// finished).
+  /// Counts a node; false when the search must unwind (budget gone at a
+  /// flush boundary, cancelled from outside, or the best-index race lost).
   bool charge_node() {
-    if (shared.nodes.fetch_add(1, std::memory_order_relaxed) + 1 > node_cap) {
-      shared.cap_hit.store(true, std::memory_order_relaxed);
-      shared.stop.store(true, std::memory_order_relaxed);
+    ++total_nodes;
+    if (++unflushed < flush_batch) return true;
+    return flush();
+  }
+
+  bool flush() {
+    const std::size_t add = unflushed;
+    unflushed = 0;
+    if (total_nodes > local_budget) {
       aborted = true;
       return false;
     }
-    if (shared.external != nullptr &&
-        shared.external->load(std::memory_order_relaxed)) {
-      shared.ext_cancelled.store(true, std::memory_order_relaxed);
-      shared.stop.store(true, std::memory_order_relaxed);
+    if (external != nullptr && external->load(std::memory_order_relaxed)) {
       aborted = true;
+      ext_seen = true;
+      if (shared != nullptr) {
+        shared->ext_cancelled.store(true, std::memory_order_relaxed);
+        shared->stop.store(true, std::memory_order_relaxed);
+      }
       return false;
     }
-    if (shared.stop.load(std::memory_order_relaxed)) {
-      aborted = true;
-      return false;
+    if (shared != nullptr) {
+      const std::size_t now =
+          shared->charged.fetch_add(add, std::memory_order_relaxed) + add;
+      if (now > global_cap) {
+        shared->stop.store(true, std::memory_order_relaxed);
+        aborted = true;
+        return false;
+      }
+      if (shared->stop.load(std::memory_order_relaxed)) {
+        aborted = true;
+        return false;
+      }
+      if (shared->best.load(std::memory_order_relaxed) < job_index) {
+        aborted = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Final flush of leftover charges into the shared counter (keeps the
+  /// advisory budget honest); never aborts a finished run.
+  void settle() {
+    if (shared != nullptr && unflushed > 0) {
+      shared->charged.fetch_add(unflushed, std::memory_order_relaxed);
+    }
+    unflushed = 0;
+  }
+
+  /// Applies a decision prefix without charging (the expansion already paid
+  /// for enumerating it). False when propagation wipes out: empty subtree.
+  bool replay(const std::vector<std::pair<std::size_t, int>>& assignments) {
+    for (const auto& [var, j] : assignments) {
+      if (!assign(var, j)) return false;
     }
     return true;
   }
@@ -392,161 +460,291 @@ struct Solver {
   }
 };
 
-/// A disjoint chunk of the search space: the assignments (in order) leading
-/// to one node of the top of the MRV search tree.
-struct Prefix {
-  std::vector<std::pair<std::size_t, int>> assignments;  // (variable, value)
-};
-
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// Parallelizing a search that dies within a few hundred nodes only pays
-// thread-spawn latency; tiny CSPs (low radii, solo/edge-only inputs) stay
-// sequential. Verdicts are unaffected — both engines are complete.
-constexpr std::size_t kMinVariablesForParallel = 10;
+// Splitting a search that dies within a few hundred nodes only pays
+// expansion overhead; tiny CSPs (low radii, solo/edge-only inputs) run the
+// plain backtracker at every thread count. Verdicts are unaffected — both
+// engines are complete.
+constexpr std::size_t kMinVariablesForSplit = 10;
 
-void run_sequential(const Csp& csp, const MapSearchOptions& options,
-                    MapSearchResult& result) {
-  SharedSearch shared;
-  shared.external = options.cancel;
-  Solver solver(csp, shared, options.node_cap, options.dynamic_ordering);
-  const bool found = solver.search();
-  result.nodes_explored = shared.nodes.load();
-  result.cancelled = !found && shared.ext_cancelled.load();
-  result.exhausted = !shared.cap_hit.load() && !result.cancelled;
-  if (found) {
-    result.found = true;
-    for (std::size_t i = 0; i < csp.n; ++i) {
-      result.map.set(csp.vertex[i],
-                     csp.values[i][static_cast<std::size_t>(solver.assigned[i])]);
-    }
+void emit_map(const Csp& csp, const std::vector<int>& assigned,
+              MapSearchResult& result) {
+  result.found = true;
+  for (std::size_t i = 0; i < csp.n; ++i) {
+    result.map.set(csp.vertex[i],
+                   csp.values[i][static_cast<std::size_t>(assigned[i])]);
   }
 }
 
-void run_parallel(const Csp& csp, const MapSearchOptions& options, int threads,
-                  MapSearchResult& result) {
-  SharedSearch shared;
-  shared.external = options.cancel;
+/// Small-CSP path: the plain sequential backtracker with the seed engine's
+/// exact per-node budget checks (flush batch 1).
+void run_small(const Csp& csp, const MapSearchOptions& options,
+               MapSearchResult& result) {
+  Solver solver(csp, options.dynamic_ordering);
+  solver.flush_batch = 1;
+  solver.local_budget = options.node_cap;
+  solver.external = options.cancel;
+  const bool found = solver.search();
+  result.nodes_explored = solver.total_nodes;
+  result.cancelled = solver.ext_seen;
+  result.exhausted = !solver.aborted;
+  if (found) emit_map(csp, solver.assigned, result);
+}
 
-  // Phase 1 — split work: expand the top of the search tree breadth-first
-  // into at least ~4 prefixes per worker. Expansion replays each prefix on
-  // a scratch solver; dead prefixes (propagation wipe-out) are pruned here,
-  // and a prefix that happens to assign every variable is already a map.
-  const std::size_t target_jobs =
-      std::max<std::size_t>(static_cast<std::size_t>(threads) * 4, 8);
-  constexpr std::size_t kMaxPrefixDepth = 6;
-  std::deque<Prefix> open;
+/// One disjoint chunk of the search space — the decision prefix reaching
+/// one node at the top of the MRV tree — plus its phase-2 outcome.
+struct PrefixJob {
+  std::vector<std::pair<std::size_t, int>> assignments;  // (variable, value)
+
+  enum class State { NotRun, Done, Aborted };
+  State state = State::NotRun;
+  bool solved = false;
+  std::size_t nodes = 0;        // full subtree charge count (Done only)
+  std::vector<int> assignment;  // complete assignment when solved
+};
+
+struct Expansion {
+  std::vector<PrefixJob> jobs;  // DFS (lexicographic value-index) order
+  std::size_t nodes = 0;        // charges paid enumerating the prefixes
+  bool capped = false;
+  bool cancelled = false;
+};
+
+// Phase 1 — fixed decomposition: expand the top of the MRV tree
+// breadth-first into ~kSplitTargetJobs disjoint prefixes, then sort them
+// into DFS order. Sibling values are enumerated ascending and the variable
+// at each level is a function of the prefix, so comparing value indices
+// lexicographically reproduces the depth-first visit order. Expansion is
+// where prefix enumeration is charged — jobs replay their prefix for free,
+// so a prefix is paid for exactly once no matter how many workers touch it.
+Expansion expand_prefixes(const Csp& csp, const MapSearchOptions& options) {
+  Expansion out;
+  using Assignments = std::vector<std::pair<std::size_t, int>>;
+  std::deque<Assignments> open;
+  std::vector<Assignments> leaves;
   open.push_back({});
-  std::vector<Prefix> jobs;
-  while (!open.empty()) {
-    if (open.size() + jobs.size() >= target_jobs) break;
-    Prefix p = std::move(open.front());
+  while (!open.empty() && open.size() + leaves.size() < kSplitTargetJobs) {
+    Assignments p = std::move(open.front());
     open.pop_front();
-    if (p.assignments.size() >= kMaxPrefixDepth) {
-      jobs.push_back(std::move(p));
+    if (p.size() >= kMaxPrefixDepth) {
+      leaves.push_back(std::move(p));
       continue;
     }
-    Solver scratch(csp, shared, options.node_cap, options.dynamic_ordering);
+    Solver scratch(csp, options.dynamic_ordering);
+    scratch.flush_batch = 1;  // exact budget checks while splitting
+    scratch.local_budget =
+        options.node_cap > out.nodes ? options.node_cap - out.nodes : 0;
+    scratch.external = options.cancel;
     bool dead = false;
-    for (const auto& [var, j] : p.assignments) {
-      if (!scratch.charge_node() || !scratch.assign(var, j)) {
+    for (const auto& [var, j] : p) {
+      if (!scratch.charge_node()) {
+        // Budget exhausted (or cancellation) during splitting — report like
+        // the sequential engine would: inconclusive, nothing found.
+        out.nodes += scratch.total_nodes;
+        out.cancelled = scratch.ext_seen;
+        out.capped = !scratch.ext_seen;
+        return out;
+      }
+      if (!scratch.assign(var, j)) {
         dead = true;
         break;
       }
     }
-    if (scratch.aborted) {
-      // Node cap exhausted (or cancellation) during splitting — report like
-      // the sequential engine would: inconclusive, nothing found.
-      result.nodes_explored = shared.nodes.load();
-      result.cancelled = shared.ext_cancelled.load();
-      result.exhausted = false;
-      return;
-    }
+    out.nodes += scratch.total_nodes;
     if (dead) continue;  // empty subtree: exhausted by propagation alone
     const std::size_t var = scratch.select_variable();
     if (var == csp.n) {
-      // The prefix is itself a complete assignment.
-      result.found = true;
-      result.exhausted = true;
-      result.nodes_explored = shared.nodes.load();
-      for (std::size_t i = 0; i < csp.n; ++i) {
-        result.map.set(
-            csp.vertex[i],
-            csp.values[i][static_cast<std::size_t>(scratch.assigned[i])]);
-      }
-      return;
+      // The prefix assigns every variable (unreachable while
+      // kMaxPrefixDepth < kMinVariablesForSplit, but kept correct): the
+      // walk's replay-then-search will confirm it as a zero-node witness.
+      leaves.push_back(std::move(p));
+      continue;
     }
     Mask live = scratch.domain[var];
     while (live) {
       const int j = __builtin_ctzll(live);
       live &= live - 1;
-      Prefix child = p;
-      child.assignments.emplace_back(var, j);
+      Assignments child = p;
+      child.emplace_back(var, j);
       open.push_back(std::move(child));
     }
   }
-  for (Prefix& p : open) jobs.push_back(std::move(p));
-  if (jobs.empty()) {
-    // Every branch of the top of the tree wiped out: proof of non-existence.
-    result.nodes_explored = shared.nodes.load();
-    result.exhausted = true;
-    return;
+  for (Assignments& p : open) leaves.push_back(std::move(p));
+  std::sort(leaves.begin(), leaves.end(),
+            [](const Assignments& a, const Assignments& b) {
+              const std::size_t n = std::min(a.size(), b.size());
+              for (std::size_t i = 0; i < n; ++i) {
+                if (a[i].second != b[i].second) {
+                  return a[i].second < b[i].second;
+                }
+              }
+              return a.size() < b.size();
+            });
+  out.jobs.reserve(leaves.size());
+  for (Assignments& p : leaves) {
+    PrefixJob job;
+    job.assignments = std::move(p);
+    out.jobs.push_back(std::move(job));
   }
+  return out;
+}
 
-  // Phase 2 — race: workers pull prefixes off a shared deque and run each
-  // subtree to completion; the first map (or the cap) flips the stop flag
-  // and everyone unwinds.
-  std::atomic<std::size_t> next_job{0};
-  auto worker = [&]() {
-    while (!shared.stop.load(std::memory_order_relaxed)) {
-      const std::size_t idx =
-          next_job.fetch_add(1, std::memory_order_relaxed);
-      if (idx >= jobs.size()) return;
-      Solver solver(csp, shared, options.node_cap, options.dynamic_ordering);
-      bool dead = false;
-      for (const auto& [var, j] : jobs[idx].assignments) {
-        if (!solver.charge_node() || !solver.assign(var, j)) {
-          dead = true;
-          break;
-        }
-      }
-      if (solver.aborted) return;
-      if (dead) continue;
-      if (solver.search()) {
-        std::lock_guard<std::mutex> lock(shared.winner_mutex);
-        if (!shared.found.load()) {
-          shared.found.store(true);
-          shared.winner = solver.assigned;
-        }
-        shared.stop.store(true, std::memory_order_relaxed);
+// Phase 2 — opportunistic parallel pass: one executor job per prefix,
+// submitted to the shared work-stealing pool (the caller helps via
+// JobGroup::wait, so `threads` includes this thread). Workers race under
+// the advisory global budget; a completed job records its exact —
+// schedule-independent — subtree charge count, an aborted one is re-run
+// canonically in phase 3. Each job writes only its own PrefixJob slot, and
+// group completion publishes them to the walk.
+void run_phase2(const Csp& csp, const MapSearchOptions& options, int threads,
+                std::vector<PrefixJob>& jobs, SharedSearch& shared) {
+  Executor& executor = Executor::global();
+  executor.ensure_workers(threads - 1);
+  JobGroup group(executor);
+  for (std::size_t index = 0; index < jobs.size(); ++index) {
+    group.submit([&csp, &options, &jobs, &shared, index] {
+      PrefixJob& job = jobs[index];
+      if (shared.stop.load(std::memory_order_relaxed) ||
+          shared.best.load(std::memory_order_relaxed) < index) {
+        job.state = PrefixJob::State::Aborted;
         return;
       }
-      if (solver.aborted) return;
-    }
-  };
-  const std::size_t worker_count =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), jobs.size());
-  std::vector<std::thread> pool;
-  pool.reserve(worker_count);
-  for (std::size_t i = 0; i < worker_count; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  result.nodes_explored = shared.nodes.load();
-  if (shared.found.load()) {
-    result.found = true;
-    result.exhausted = true;
-    for (std::size_t i = 0; i < csp.n; ++i) {
-      result.map.set(csp.vertex[i],
-                     csp.values[i][static_cast<std::size_t>(shared.winner[i])]);
-    }
-  } else {
-    result.cancelled = shared.ext_cancelled.load();
-    result.exhausted = !shared.cap_hit.load() && !result.cancelled;
+      Solver solver(csp, options.dynamic_ordering);
+      solver.shared = &shared;
+      solver.global_cap = options.node_cap;
+      solver.job_index = index;
+      solver.external = options.cancel;
+      if (!solver.replay(job.assignments)) {
+        job.state = PrefixJob::State::Done;  // empty subtree, zero charges
+        return;
+      }
+      const bool solved = solver.search();
+      solver.settle();
+      if (!solved && solver.aborted) {
+        job.state = PrefixJob::State::Aborted;
+        return;
+      }
+      job.nodes = solver.total_nodes;
+      job.solved = solved;
+      if (solved) {
+        job.assignment = solver.assigned;
+        std::size_t current = shared.best.load(std::memory_order_relaxed);
+        while (index < current &&
+               !shared.best.compare_exchange_weak(current, index,
+                                                  std::memory_order_relaxed)) {
+        }
+      }
+      job.state = PrefixJob::State::Done;
+      return;
+    });
   }
+  group.wait();
+}
+
+// Phase 3 — canonical accounting: walk the jobs in DFS order simulating
+// ONE sequential run whose node counter carries across jobs — the budget is
+// reconciled at *global* flush boundaries (node counts 256, 512, ...), so a
+// cap is detected within kNodeFlushBatch charges no matter how the counter
+// is sliced into subtrees. A Done job replays in closed form (its charge
+// count is schedule-independent, so the boundaries it crosses are
+// computable without re-searching); anything else re-runs inline seeded
+// with the global counter and phase, which aborts at exactly the same
+// boundaries. Every thread count therefore reports the same winner,
+// witness, nodes_explored and cap verdict.
+void canonical_walk(const Csp& csp, const MapSearchOptions& options,
+                    std::vector<PrefixJob>& jobs, std::size_t base,
+                    MapSearchResult& result) {
+  const std::size_t cap = options.node_cap;
+  for (PrefixJob& job : jobs) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      result.exhausted = false;
+      result.nodes_explored = base;
+      return;
+    }
+    if (job.state == PrefixJob::State::Done) {
+      // First global boundary inside this job's charge span (base, base+n].
+      std::size_t boundary =
+          (base / kNodeFlushBatch + 1) * kNodeFlushBatch;
+      bool capped = false;
+      while (boundary <= base + job.nodes) {
+        if (boundary > cap) {
+          capped = true;
+          break;
+        }
+        boundary += kNodeFlushBatch;
+      }
+      if (capped) {
+        result.exhausted = false;
+        result.nodes_explored = boundary;
+        return;
+      }
+      base += job.nodes;
+      if (job.solved) {
+        result.nodes_explored = base;
+        emit_map(csp, job.assignment, result);
+        return;
+      }
+    } else {
+      Solver solver(csp, options.dynamic_ordering);
+      solver.local_budget = cap;
+      solver.external = options.cancel;
+      solver.total_nodes = base;           // global counter, carried over
+      solver.unflushed = base % kNodeFlushBatch;  // global flush phase
+      if (!solver.replay(job.assignments)) continue;
+      const bool solved = solver.search();
+      if (!solved && solver.aborted) {
+        result.exhausted = false;
+        result.cancelled = solver.ext_seen;
+        result.nodes_explored = solver.total_nodes;
+        return;
+      }
+      base = solver.total_nodes;
+      if (solved) {
+        result.nodes_explored = base;
+        emit_map(csp, solver.assigned, result);
+        return;
+      }
+    }
+  }
+  result.nodes_explored = base;  // every subtree exhausted
+}
+
+void run_split(const Csp& csp, const MapSearchOptions& options, int threads,
+               MapSearchResult& result) {
+  Expansion expansion = expand_prefixes(csp, options);
+  if (expansion.capped || expansion.cancelled) {
+    result.cancelled = expansion.cancelled;
+    result.exhausted = false;
+    result.nodes_explored = expansion.nodes;
+    return;
+  }
+  if (threads > 1 && !expansion.jobs.empty()) {
+    SharedSearch shared;
+    shared.external = options.cancel;
+    run_phase2(csp, options, threads, expansion.jobs, shared);
+    if (shared.ext_cancelled.load(std::memory_order_relaxed)) {
+      // Cancellation is inherently timing-dependent; report a found map if
+      // some job already solved, else a plain cancelled result.
+      const std::size_t best = shared.best.load(std::memory_order_relaxed);
+      result.nodes_explored =
+          expansion.nodes + shared.charged.load(std::memory_order_relaxed);
+      if (best != kNoJob) {
+        emit_map(csp, expansion.jobs[best].assignment, result);
+      } else {
+        result.cancelled = true;
+        result.exhausted = false;
+      }
+      return;
+    }
+  }
+  canonical_walk(csp, options, expansion.jobs, expansion.nodes, result);
 }
 
 }  // namespace
@@ -574,11 +772,10 @@ MapSearchResult find_decision_map(const VertexPool& pool,
   }
   if (csp.trivially_unsat) return result;
 
-  const int threads = resolve_threads(options.threads);
-  if (threads > 1 && csp.n >= kMinVariablesForParallel) {
-    run_parallel(csp, options, threads, result);
+  if (csp.n < kMinVariablesForSplit) {
+    run_small(csp, options, result);
   } else {
-    run_sequential(csp, options, result);
+    run_split(csp, options, resolve_threads(options.threads), result);
   }
   return result;
 }

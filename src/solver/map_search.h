@@ -109,12 +109,17 @@ struct MapSearchOptions {
   /// both orders are complete, MRV is typically orders of magnitude faster.
   bool dynamic_ordering = true;
   /// Worker threads for the search. 1 = the sequential backtracker;
-  /// 0 = hardware concurrency; N > 1 = work-splitting parallel search (the
-  /// top MRV decision prefixes are raced by a thread pool with early
-  /// cancellation). Determinism contract: for identical inputs every thread
-  /// count returns the same found/exhausted verdict whenever the search
-  /// completes within the node cap; the witness map may differ across
-  /// thread counts but always passes validate_decision_map.
+  /// 0 = hardware concurrency; N > 1 = work-splitting parallel search: a
+  /// fixed DFS-ordered set of decision prefixes is dispatched as jobs on
+  /// the shared work-stealing executor (runtime/executor.h), then a
+  /// canonical sequential walk re-derives the single-threaded answer from
+  /// the per-prefix outcomes. Determinism contract: for identical inputs
+  /// EVERY thread count returns bit-identical results — the same
+  /// found/exhausted verdict, the same witness map (the DFS-first one),
+  /// and the same nodes_explored, including cap-truncated searches (the
+  /// cap is charged against one global node counter with fixed flush
+  /// boundaries, so the truncation point cannot drift with the worker
+  /// count). Extra threads change wall-clock time only.
   int threads = 1;
   /// Optional cross-call Δ-image cache (see DeltaImageCache). Borrowed, may
   /// be null (a per-call cache is used); must be dedicated to `task.delta`.

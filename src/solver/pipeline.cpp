@@ -1,8 +1,9 @@
 #include "solver/pipeline.h"
 
 #include <chrono>
-#include <thread>
 #include <utility>
+
+#include "runtime/executor.h"
 
 namespace trichroma {
 
@@ -194,11 +195,12 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   report.input_facets = facet_count(task.input);
   report.output_facets = facet_count(task.output);
   report.options = options;
-  report.threads_resolved = resolve_search_threads(options.threads);
+  const int threads_resolved = resolve_search_threads(options.threads);
   const EngineBudget budget = budget_from(options);
 
   // Two processes: Proposition 5.4 decides exactly; nothing to race.
   if (task.num_processes == 2) {
+    report.schedule = "exact";
     TwoProcessEngine engine(task);
     CancellationToken token;
     const EngineReport r = engine.run(budget, token);
@@ -217,8 +219,10 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   const bool characterize_route =
       options.use_characterization && task.num_processes == 3;
   const bool generic_route = task.num_processes > 3;
-  const bool race =
-      report.threads_resolved >= 2 && (characterize_route || generic_route);
+  const bool race = threads_resolved >= 2 &&
+                    options.schedule == PipelineSchedule::kAuto &&
+                    (characterize_route || generic_route);
+  report.schedule = race ? "racing" : "ladder";
 
   CancellationToken possibility_token;    // stops the chromatic probe
   CancellationToken impossibility_token;  // stops the T'/generic lane
@@ -230,9 +234,15 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   if (race) {
     // The impossibility lane interns into its own clone of the task; the
     // chromatic probe interns into the original pool from this thread.
-    // Soundness makes the cross-lane cancellation verdict-neutral.
+    // Soundness makes the cross-lane cancellation verdict-neutral. The lane
+    // is one executor job: a pool worker picks it up while this thread runs
+    // the probe, and group.wait() both joins it and rethrows anything the
+    // lane threw.
     const Task lane_task = clone_task(task);
-    std::thread impossibility_thread([&]() {
+    Executor& executor = Executor::global();
+    executor.ensure_workers(threads_resolved > 2 ? threads_resolved - 1 : 1);
+    JobGroup group(executor);
+    group.submit([&]() {
       if (generic_route) {
         run_generic_chain(lane_task, budget, impossibility_token,
                           possibility_token, lane);
@@ -246,7 +256,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
     if (chromatic_report.status == EngineStatus::Conclusive) {
       impossibility_token.request_stop();
     }
-    impossibility_thread.join();
+    group.wait();
   } else {
     // Sequential ladder: impossibility chain, chromatic probe, T'-agnostic
     // probe, each side skipped once an earlier engine concluded.

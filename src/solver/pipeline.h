@@ -6,9 +6,10 @@
 // order (impossibility chain, then the chromatic probe ladder, then the
 // T'-agnostic probe), each skipped as soon as an earlier engine concludes —
 // exactly the pre-refactor sequential cost model. With two or more threads
-// the two sides *race*: the impossibility lane (characterize → Corollaries
-// 5.5/5.6 → post-split CSP → homology → T'-agnostic probe) runs on its own
-// thread over a clone_task copy of the task (pools are unsynchronized),
+// (and schedule = kAuto) the two sides *race*: the impossibility lane
+// (characterize → Corollaries 5.5/5.6 → post-split CSP → homology →
+// T'-agnostic probe) is submitted to the shared work-stealing executor as a
+// job group over a clone_task copy of the task (pools are unsynchronized),
 // while the possibility lane (the chromatic probe ladder) runs on the
 // calling thread over the original task. The first conclusive engine
 // cancels the dominated side through the lanes' cancellation tokens, so
@@ -19,11 +20,14 @@
 // Determinism. Engines are sound, so possibility and impossibility can
 // never both conclude; within a side, a fixed precedence order (the
 // pre-refactor ladder order) selects the reported verdict and reason.
-// Verdict, reason, radius and via_characterization are therefore identical
-// for every thread count (for searches that complete within the node cap —
-// the PR-1 map-search contract). Per-engine statuses and node counts in the
-// report ARE schedule-dependent at >= 2 threads; pin threads = 1 to get a
-// reproducible full report.
+// Verdict, reason, radius, via_characterization AND every engine's
+// nodes_explored are identical for every thread count: the decision-map
+// searches inside the engines use canonical prefix accounting (see
+// map_search.cpp), so threads only change wall-clock. Per-engine *statuses*
+// are schedule-dependent in racing mode (the losing lane reports
+// Cancelled); force schedule = kLadder to pin the full report — engine
+// statuses included — while inner searches still parallelize. That is what
+// the batch driver does to make its report files byte-identical.
 
 #include <cstddef>
 #include <memory>
@@ -34,6 +38,12 @@
 #include "tasks/task.h"
 
 namespace trichroma {
+
+/// How the pipeline schedules its two lanes. kAuto races them on >= 2
+/// threads (fastest wall-clock; the losing lane's statuses depend on
+/// timing); kLadder always runs the classic sequential ladder, whose
+/// engine statuses are a pure function of the task and budget.
+enum class PipelineSchedule { kAuto, kLadder };
 
 struct SolvabilityOptions {
   int max_radius = 2;
@@ -46,6 +56,8 @@ struct SolvabilityOptions {
   /// identical for every thread count; >= 2 additionally races the
   /// impossibility lane against the possibility lane.
   int threads = 0;
+  /// Lane scheduling policy (see PipelineSchedule).
+  PipelineSchedule schedule = PipelineSchedule::kAuto;
   /// Memoize Ch^r across the radius ladder (SubdivisionLadder) instead of
   /// recomputing every round from scratch at each radius. Off is only
   /// useful for benchmarking the cold path.
@@ -55,14 +67,17 @@ struct SolvabilityOptions {
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
-/// trichroma.pipeline-report/1).
+/// trichroma.pipeline-report/3).
 struct PipelineReport {
   std::string task_name;
   int num_processes = 3;
   std::size_t input_facets = 0;
   std::size_t output_facets = 0;
   SolvabilityOptions options;
-  int threads_resolved = 1;
+  /// How the lanes actually ran: "exact" (two-process branch), "ladder"
+  /// (sequential schedule) or "racing". Everything except engine statuses
+  /// under "racing" is schedule-independent.
+  std::string schedule = "ladder";
   Verdict verdict = Verdict::Unknown;
   std::string reason;
   /// Radius of the found decision map (when Solvable via map search).

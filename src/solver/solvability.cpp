@@ -53,7 +53,7 @@ SolvabilityResult decide_two_process(const Task& task,
   pipeline_report.task_name = task.name;
   pipeline_report.num_processes = task.num_processes;
   pipeline_report.options = options;
-  pipeline_report.threads_resolved = 1;
+  pipeline_report.schedule = "exact";
   pipeline_report.verdict = result.verdict;
   pipeline_report.reason = result.reason;
   pipeline_report.total_wall_ms = report.wall_ms;

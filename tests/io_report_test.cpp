@@ -42,7 +42,7 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/2\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
     EXPECT_NE(json.find("\"engines\": ["), std::string::npos);

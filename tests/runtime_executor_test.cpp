@@ -1,0 +1,181 @@
+// The work-stealing executor (runtime/executor.h): stealing under
+// imbalance, hierarchical cancellation, exception propagation through
+// wait(), pool reuse across submissions, and the zero-worker inline path.
+// The suite runs TSAN-clean (the TRICHROMA_TSAN CI job includes it).
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "runtime/executor.h"
+
+namespace trichroma {
+namespace {
+
+TEST(Executor, ZeroWorkersRunsEverythingInlineInWait) {
+  Executor executor(0);
+  JobGroup group(executor);
+  std::atomic<int> ran{0};
+  std::thread::id waiter = std::this_thread::get_id();
+  std::atomic<bool> all_on_waiter{true};
+  for (int i = 0; i < 16; ++i) {
+    group.submit([&] {
+      if (std::this_thread::get_id() != waiter) all_on_waiter = false;
+      ++ran;
+    });
+  }
+  EXPECT_EQ(ran.load(), 0);  // nothing runs until somebody waits
+  group.wait();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_TRUE(all_on_waiter.load());
+}
+
+TEST(Executor, StealingSpreadsAnImbalancedSubmissionBurst) {
+  // All tasks are injected from this (non-worker) thread, then each task
+  // blocks until every worker has picked one up: the burst cannot complete
+  // unless at least `workers` distinct threads serve the queue.
+  const int workers = 4;
+  Executor executor(workers);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::set<std::thread::id> seen;
+
+  JobGroup group(executor);
+  for (int i = 0; i < workers; ++i) {
+    group.submit([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+      cv.notify_all();
+      cv.wait(lock, [&] { return seen.size() >= static_cast<std::size_t>(workers); });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(workers));
+}
+
+TEST(Executor, NestedGroupCancellationPropagatesToChildren) {
+  Executor executor(0);
+  JobGroup parent(executor);
+  JobGroup child(executor, &parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  // A child born under a cancelled parent starts cancelled, and submissions
+  // to a cancelled group are dropped.
+  JobGroup late(executor, &parent);
+  EXPECT_TRUE(late.cancelled());
+  std::atomic<int> ran{0};
+  late.submit([&] { ++ran; });
+  late.wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Executor, CancelSkipsQueuedButUnstartedTasks) {
+  Executor executor(0);  // inline mode: nothing starts before wait()
+  JobGroup group(executor);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) group.submit([&] { ++ran; });
+  group.cancel();
+  group.wait();  // queued tasks complete as no-ops
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Executor, ExceptionPropagatesToWaitingGroupAndCancelsSiblings) {
+  Executor executor(2);
+  JobGroup group(executor);
+  std::atomic<int> late_ran{0};
+  group.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The error tripped the group token: later submissions are dropped.
+  group.submit([&] { ++late_ran; });
+  group.wait();  // second wait does not rethrow (reported once)
+  EXPECT_EQ(late_ran.load(), 0);
+  EXPECT_TRUE(group.cancelled());
+}
+
+TEST(Executor, PoolIsReusedAcrossSubmissionRounds) {
+  Executor executor(2);
+  const int spawned_before = executor.workers_spawned();
+  for (int round = 0; round < 20; ++round) {
+    JobGroup group(executor);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) group.submit([&] { ++ran; });
+    group.wait();
+    EXPECT_EQ(ran.load(), 8);
+  }
+  // Twenty rounds, zero new threads: ensure_workers never re-spawns.
+  EXPECT_EQ(executor.workers_spawned(), spawned_before);
+  EXPECT_EQ(executor.workers_spawned(), 2);
+}
+
+TEST(Executor, EnsureWorkersGrowsButNeverShrinksAndClamps) {
+  Executor executor(1);
+  EXPECT_EQ(executor.workers_spawned(), 1);
+  executor.ensure_workers(3);
+  EXPECT_EQ(executor.workers_spawned(), 3);
+  executor.ensure_workers(2);  // no-op
+  EXPECT_EQ(executor.workers_spawned(), 3);
+  executor.ensure_workers(Executor::kMaxWorkers + 100);
+  EXPECT_EQ(executor.workers_spawned(), Executor::kMaxWorkers);
+}
+
+TEST(Executor, WaiterHelpsWithNestedGroupsWithoutDeadlock) {
+  // A task that itself creates a child group and waits on it, on a pool of
+  // one worker: progress requires help-while-waiting (the single worker is
+  // inside the outer task when the inner tasks queue up).
+  Executor executor(1);
+  JobGroup outer(executor);
+  std::atomic<int> inner_ran{0};
+  outer.submit([&] {
+    JobGroup inner(executor);
+    for (int i = 0; i < 4; ++i) inner.submit([&] { ++inner_ran; });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner_ran.load(), 4);
+}
+
+TEST(Executor, ParentWaitCoversChildGroupTasks) {
+  Executor executor(2);
+  std::atomic<int> ran{0};
+  {
+    JobGroup parent(executor);
+    JobGroup child(executor, &parent);
+    for (int i = 0; i < 8; ++i) child.submit([&] { ++ran; });
+    parent.wait();  // no explicit child.wait(): the subtree count covers it
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(Executor, CurrentWorkerIndexIdentifiesPoolThreads) {
+  Executor executor(2);
+  EXPECT_EQ(executor.current_worker_index(), -1);  // not a pool thread
+  JobGroup group(executor);
+  std::mutex mutex;
+  std::set<int> indices;
+  std::condition_variable cv;
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i) {
+    group.submit([&] {
+      ++started;
+      std::unique_lock<std::mutex> lock(mutex);
+      indices.insert(executor.current_worker_index());
+      cv.notify_all();
+      cv.wait(lock, [&] { return indices.size() == 2; });
+    });
+  }
+  // Let both pool threads claim their task before wait() starts helping —
+  // helped tasks would run here with index -1.
+  while (started.load() < 2) std::this_thread::yield();
+  group.wait();
+  EXPECT_EQ(indices, (std::set<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace trichroma

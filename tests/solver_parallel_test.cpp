@@ -1,7 +1,8 @@
 // Tests for the parallel decision-map search engine: the determinism
-// contract (identical found/exhausted verdicts for every thread count, with
-// every found witness independently validated), the cross-call Δ-image /
-// edge-mask cache, and the cap behavior under parallel search.
+// contract (verdict, witness AND nodes_explored bit-identical for every
+// thread count — the canonical prefix accounting makes even cap-truncated
+// runs agree), the cross-call Δ-image / edge-mask cache, and the cap
+// behavior under parallel search.
 
 #include <gtest/gtest.h>
 
@@ -62,12 +63,9 @@ TEST(ParallelMapSearch, VerdictsIdenticalAcrossThreadCountsOnWholeZoo) {
         options.node_cap = 300'000;
         const MapSearchResult sequential =
             find_decision_map(*task.pool, domain, task, options);
-        // The determinism contract only covers searches that complete within
-        // the node cap (majority_consensus at r=1 is a 20M-node refutation);
-        // skip cap-bound instances, with headroom for the parallel engine's
-        // prefix-replay overhead.
-        if (!sequential.found && !sequential.exhausted) continue;
-        if (sequential.nodes_explored > options.node_cap / 4) continue;
+        // The contract covers cap-truncated searches too (majority_consensus
+        // at r=1 is a 20M-node refutation; at this cap it reports Unknown
+        // with the same node count everywhere).
         for (const int threads : {2, 8}) {
           options.threads = threads;
           const MapSearchResult parallel =
@@ -75,10 +73,18 @@ TEST(ParallelMapSearch, VerdictsIdenticalAcrossThreadCountsOnWholeZoo) {
           EXPECT_EQ(parallel.found, sequential.found)
               << c.name << " r=" << radius << " chromatic=" << chromatic
               << " threads=" << threads;
-          EXPECT_TRUE(parallel.exhausted)
+          EXPECT_EQ(parallel.exhausted, sequential.exhausted)
+              << c.name << " r=" << radius << " chromatic=" << chromatic
+              << " threads=" << threads;
+          EXPECT_EQ(parallel.nodes_explored, sequential.nodes_explored)
               << c.name << " r=" << radius << " chromatic=" << chromatic
               << " threads=" << threads;
           if (parallel.found) {
+            // Not just *a* witness: the same witness (canonical accounting
+            // always reports the DFS-first map).
+            EXPECT_EQ(parallel.map.entries(), sequential.map.entries())
+                << c.name << " r=" << radius << " chromatic=" << chromatic
+                << " threads=" << threads;
             EXPECT_TRUE(validate_decision_map(*task.pool, domain, task,
                                               parallel.map, chromatic))
                 << c.name << " r=" << radius << " chromatic=" << chromatic
@@ -112,6 +118,13 @@ TEST(ParallelMapSearch, NodeCapReportsNonExhaustiveInParallel) {
   const Task task = zoo::set_agreement_32();
   const SubdividedComplex domain =
       chromatic_subdivision(*task.pool, task.input, 1);
+  MapSearchOptions base;
+  base.node_cap = 3;
+  base.threads = 1;
+  const MapSearchResult sequential =
+      find_decision_map(*task.pool, domain, task, base);
+  EXPECT_FALSE(sequential.found);
+  EXPECT_FALSE(sequential.exhausted);
   for (const int threads : {2, 8}) {
     MapSearchOptions options;
     options.node_cap = 3;
@@ -120,6 +133,10 @@ TEST(ParallelMapSearch, NodeCapReportsNonExhaustiveInParallel) {
         find_decision_map(*task.pool, domain, task, options);
     EXPECT_FALSE(res.found) << "threads=" << threads;
     EXPECT_FALSE(res.exhausted) << "threads=" << threads;
+    // The cap is enforced globally: the truncation point cannot drift with
+    // the worker count.
+    EXPECT_EQ(res.nodes_explored, sequential.nodes_explored)
+        << "threads=" << threads;
   }
 }
 

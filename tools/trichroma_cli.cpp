@@ -12,13 +12,12 @@
 // The text format is documented in src/io/task_format.h; `demo` is the
 // quickest way to get a template to edit.
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/characterization.h"
@@ -28,6 +27,7 @@
 
 #include "protocols/pipeline.h"
 #include "protocols/verify.h"
+#include "solver/batch.h"
 #include "solver/solvability.h"
 #include "tasks/zoo.h"
 
@@ -69,15 +69,22 @@ int usage() {
                "                     concurrency; 1 = sequential ladder)\n"
                "  --max-radius N     probe decision maps up to Ch^N (default: 2)\n"
                "  --node-cap N       search-node budget per probe (default: 20000000)\n"
+               "  --jobs N           (batch) concurrent whole-task pipelines\n"
+               "                     (default: 1; 0 = hardware concurrency)\n"
+               "  --tasks a,b,...    (batch) restrict to these catalog tasks\n"
                "  --report FILE      (decide/synth) write the JSON pipeline report\n"
-               "  --report-dir DIR   (batch) write one JSON report per task\n");
+               "  --report-dir DIR   (batch) write one JSON report per task\n"
+               "                     (timings redacted: files are byte-identical\n"
+               "                     for every --jobs and --threads value)\n");
   return 2;
 }
 
 struct CliOptions {
   SolvabilityOptions solve;
-  std::string report_path;  // decide/synth
-  std::string report_dir;   // batch
+  int jobs = 1;                    // batch: concurrent task pipelines
+  std::vector<std::string> tasks;  // batch: catalog subset
+  std::string report_path;         // decide/synth
+  std::string report_dir;          // batch
 };
 
 Task load(const char* path) { return io::parse_task(io::read_file(path)); }
@@ -117,52 +124,38 @@ int cmd_decide(const Task& task, const CliOptions& cli) {
 }
 
 int cmd_batch(const CliOptions& cli) {
-  const std::vector<zoo::CatalogEntry>& entries = zoo::catalog();
-  // The batch shares the thread budget: W concurrent workers each running a
-  // sequential (threads = 1) pipeline, so per-task reports stay fully
-  // deterministic while the sweep itself is parallel.
-  const int workers = std::min<int>(resolve_search_threads(cli.solve.threads),
-                                    static_cast<int>(entries.size()));
-  SolvabilityOptions per_task = cli.solve;
-  per_task.threads = 1;
+  if (!cli.report_dir.empty()) {
+    std::filesystem::create_directories(cli.report_dir);
+  }
+  BatchOptions batch;
+  batch.solve = cli.solve;
+  batch.jobs = cli.jobs;
+  batch.only = cli.tasks;
+  const BatchResult result = run_batch(batch);
 
-  std::vector<PipelineReport> reports(entries.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= entries.size()) return;
-      // Tasks are built inside the worker: each owns a fresh pool, so the
-      // builds are race-free.
-      const Task task = entries[i].build();
-      reports[i] = run_pipeline(task, per_task).report;
-    }
-  };
-  std::vector<std::thread> pool;
-  for (int w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
-
-  std::printf("batch: %zu tasks, %d workers\n\n", entries.size(), workers);
+  std::printf("batch: %zu tasks, %d jobs, %.1f ms\n\n", result.tasks.size(),
+              resolve_batch_jobs(cli.jobs), result.wall_ms);
   std::printf("%-24s %-12s %7s %6s %9s  %s\n", "task", "verdict", "radius",
               "viaT'", "ms", "reason");
-  int unknown = 0;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const PipelineReport& r = reports[i];
-    unknown += r.verdict == Verdict::Unknown ? 1 : 0;
-    std::printf("%-24s %-12s %7d %6s %9.1f  %.60s\n", entries[i].name,
+  for (const BatchTaskResult& t : result.tasks) {
+    const PipelineReport& r = t.report;
+    std::printf("%-24s %-12s %7d %6s %9.1f  %.60s\n", t.name.c_str(),
                 to_string(r.verdict), r.radius,
                 r.via_characterization ? "yes" : "no", r.total_wall_ms,
                 r.reason.c_str());
     if (!cli.report_dir.empty()) {
-      io::write_text_file(cli.report_dir + "/" + entries[i].name + ".json",
-                          io::to_json(r));
+      // Redacted timings: the one schedule-dependent quantity is zeroed, so
+      // these files are byte-identical for every --jobs/--threads value.
+      io::ReportJsonOptions json_options;
+      json_options.redact_timings = true;
+      io::write_text_file(cli.report_dir + "/" + t.name + ".json",
+                          io::to_json(r, json_options));
     }
   }
   if (!cli.report_dir.empty()) {
     std::printf("\nreports written to %s/\n", cli.report_dir.c_str());
   }
-  return unknown == 0 ? 0 : 1;
+  return result.unknown == 0 ? 0 : 1;
 }
 
 int cmd_split(const Task& task) {
@@ -285,6 +278,33 @@ int main(int argc, char** argv) {
         return usage();
       }
       cli.solve.node_cap = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) return usage();
+      long n = 0;
+      if (!parse_long(argv[++i], 0, 4096, &n)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      cli.jobs = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--tasks") == 0) {
+      if (i + 1 >= argc) return usage();
+      const char* list = argv[++i];
+      std::string name;
+      for (const char* p = list;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!name.empty()) cli.tasks.push_back(name);
+          name.clear();
+          if (*p == '\0') break;
+        } else {
+          name += *p;
+        }
+      }
+      if (cli.tasks.empty()) {
+        std::fprintf(stderr, "error: --tasks expects a comma-separated list\n");
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--report") == 0) {
       if (i + 1 >= argc) return usage();
       cli.report_path = argv[++i];
