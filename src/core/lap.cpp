@@ -2,11 +2,17 @@
 
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/compiled.h"
 
 namespace trichroma {
 
 std::vector<LapRecord> find_laps(const Task& task, const Simplex& sigma) {
+  TRI_SPAN("topology/lap_scan");
+  static obs::Counter& scans =
+      obs::MetricsRegistry::global().counter("topology.lap_scans");
+  scans.add();
   std::vector<LapRecord> out;
   // One compiled snapshot per image; the per-vertex scans then run over the
   // link bitmasks instead of materializing a SimplicialComplex link each.

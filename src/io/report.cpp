@@ -95,7 +95,7 @@ void emit_engine(Builder& b, const EngineReport& e,
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/3"; }
+const char* report_schema() { return "trichroma.pipeline-report/4"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -138,6 +138,39 @@ std::string to_json(const PipelineReport& report,
                                         : "not-computed"));
   b.field("total_wall_ms",
           num(options.redact_timings ? 0.0 : report.total_wall_ms));
+
+  // Schema v4 "metrics": rollups computed here from the per-engine fields —
+  // they are sums of deterministic quantities, so they stay byte-identical
+  // at every thread count. The executor sub-object is the one scheduling-
+  // dependent part and is redacted with the wall clocks.
+  std::size_t nodes_total = 0, img_hits = 0, img_misses = 0;
+  std::size_t mask_hits = 0, mask_misses = 0;
+  for (const EngineReport& e : report.engines) {
+    nodes_total += e.nodes_explored;
+    img_hits += e.image_cache_hits;
+    img_misses += e.image_cache_misses;
+    mask_hits += e.edge_mask_hits;
+    mask_misses += e.edge_mask_misses;
+  }
+  const ExecutorStats exec =
+      options.redact_timings ? ExecutorStats{} : report.executor_stats;
+  b.open("metrics", '{');
+  b.field("nodes_explored_total", std::to_string(nodes_total));
+  b.open("image_cache", '{');
+  b.field("hits", std::to_string(img_hits));
+  b.field("misses", std::to_string(img_misses));
+  b.close('}');
+  b.open("edge_masks", '{');
+  b.field("hits", std::to_string(mask_hits));
+  b.field("misses", std::to_string(mask_misses));
+  b.close('}');
+  b.open("executor", '{');
+  b.field("jobs_run", std::to_string(exec.jobs_run));
+  b.field("steals", std::to_string(exec.steals));
+  b.field("injections", std::to_string(exec.injections));
+  b.field("max_queue_depth", std::to_string(exec.max_queue_depth));
+  b.close('}');
+  b.close('}');
 
   b.open("engines", '[');
   for (const EngineReport& e : report.engines) emit_engine(b, e, options);

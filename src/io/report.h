@@ -2,17 +2,21 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/3"
-// and consumers should dispatch on it. Version 3 dropped the options'
-// "threads"/"threads_resolved" fields (every solver quantity in the report
-// is thread-count independent since the canonical prefix accounting; the
-// worker count only produced spurious diffs) and added the resolved lane
-// "schedule". Version 2 was v1 + the explicit "characterization" marker —
-// previously an absent payload was indistinguishable from a lane that
-// never ran:
+//   "schema": "trichroma.pipeline-report/4"
+// and consumers should dispatch on it. Version 4 added the "metrics"
+// section: deterministic rollups over the engines (node and cache totals,
+// identical at every thread count) plus the shared executor's scheduling
+// telemetry, which IS timing-dependent and is therefore zeroed under
+// `redact_timings` exactly like the wall clocks. Version 3 dropped the
+// options' "threads"/"threads_resolved" fields (every solver quantity in
+// the report is thread-count independent since the canonical prefix
+// accounting; the worker count only produced spurious diffs) and added the
+// resolved lane "schedule". Version 2 was v1 + the explicit
+// "characterization" marker — previously an absent payload was
+// indistinguishable from a lane that never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/3",
+//     "schema": "trichroma.pipeline-report/4",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "reuse_subdivisions", "reuse_images" },
@@ -26,6 +30,16 @@
 //         // covers both the disabled route and a lane cancelled by the
 //         // winning probe at threads >= 2
 //     "total_wall_ms": number,
+//     "metrics": {
+//       "nodes_explored_total": int,   // sum over engines (deterministic)
+//       "image_cache": { "hits", "misses" },   // sums over engines
+//       "edge_masks": { "hits", "misses" },    // sums over engines
+//       "executor": { "jobs_run", "steals", "injections",
+//                     "max_queue_depth" }
+//           // scheduling telemetry: nondeterministic, zeroed under
+//           // redact_timings (deltas over the run; max_queue_depth is the
+//           // pool's cumulative high-water mark)
+//     },
 //     "engines": [ {
 //       "name", "side", "status", "precedence",
 //       "verdict": string | null,     // only conclusive engines

@@ -1,0 +1,49 @@
+#include "obs/metrics.h"
+
+namespace trichroma::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: worker threads may bump counters during static
+  // destruction (the executor's global pool is leaked for the same reason).
+  static MetricsRegistry* instance = new MetricsRegistry;
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  // std::map iterates in key order, so the snapshot is already sorted.
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto counters = snapshot();
+  std::string out = "{\n  \"schema\": \"trichroma.metrics/1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(value);
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace trichroma::obs

@@ -1,0 +1,70 @@
+#pragma once
+// Process-wide metrics: a registry of named monotonic counters the solver
+// layers bump as they work (cache hits, subdivisions built, prefix jobs
+// dispatched, ...). Counters are plain relaxed atomics — always on, cheap
+// enough for warm paths; callers on genuinely hot paths cache the Counter&
+// once (the reference stays valid for the registry's lifetime) instead of
+// paying the name lookup per event.
+//
+// Naming scheme: dotted lower-case paths, layer first —
+//   executor.*      the work-stealing pool (also exposed as ExecutorStats)
+//   map_search.*    find_decision_map (prefix jobs, cap hits, nodes)
+//   pipeline.*      lane scheduling and engine outcomes
+//   topology.*      substrate builds (subdivide, compile, lap scans)
+//   cache.*         DeltaImageCache images and edge-mask memo
+//   batch.*         the batch driver
+// Trace span names use slash-separated paths instead ("map_search/prefix");
+// the dot/slash split keeps counter tracks and timeline spans visually
+// distinct in Perfetto.
+//
+// Determinism boundary: registry values never feed back into solver
+// decisions and never enter the deterministic report fields; they surface
+// only through `trichroma batch --trace-dir` metrics.json and the trace
+// export's metadata event.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trichroma::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every layer reports into.
+  static MetricsRegistry& global();
+
+  /// The counter named `name`, created on first use. The reference stays
+  /// valid for the registry's lifetime — cache it on hot paths.
+  Counter& counter(const std::string& name);
+
+  /// All counters, sorted by name (deterministic rendering order).
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// Zeroes every counter (counters stay registered).
+  void reset();
+
+  /// {"schema": "trichroma.metrics/1", "counters": {name: value, ...}},
+  /// names sorted, pretty-printed, trailing newline.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace trichroma::obs

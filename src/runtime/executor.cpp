@@ -1,10 +1,26 @@
 #include "runtime/executor.h"
 
 #include <cassert>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace trichroma {
+
+namespace {
+
+/// Lock-free max: lifts `value` into `slot` if it is a new high-water mark.
+void raise_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 namespace exec_detail {
 
@@ -94,6 +110,9 @@ struct GroupCore {
   static void run_task(const std::shared_ptr<GroupCore>& core,
                        std::function<void()> fn) {
     if (!core->token.stop_requested()) {
+      // Spans the job body whether a pool worker won the ticket or a
+      // helping waiter drained it inline — both are job executions.
+      TRI_SPAN("executor/job");
       try {
         fn();
       } catch (...) {
@@ -109,17 +128,19 @@ struct GroupCore {
     finish_one(core.get());
   }
 
-  /// Pops one task addressed by a ticket (this group only; workers don't
-  /// recurse — descendants post their own tickets). No-op when stale.
-  static void run_ticket(const std::shared_ptr<GroupCore>& core) {
-    std::function<void()> fn;
-    {
-      std::lock_guard<std::mutex> lock(core->mutex);
-      if (core->queue.empty()) return;  // a helper beat us to it
-      fn = std::move(core->queue.front());
-      core->queue.pop_front();
-    }
-    run_task(core, std::move(fn));
+  /// Pops the task addressed by a ticket (this group only; workers don't
+  /// recurse — descendants post their own tickets). Returns whether a
+  /// closure was actually popped (false = stale ticket: a helper beat us).
+  /// Split from execution so the caller can count the job BEFORE it runs —
+  /// running it first would let wait() observe completion (finish_one)
+  /// ahead of the counter update.
+  static bool pop_ticket(const std::shared_ptr<GroupCore>& core,
+                         std::function<void()>& fn) {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    if (core->queue.empty()) return false;
+    fn = std::move(core->queue.front());
+    core->queue.pop_front();
+    return true;
   }
 
   void cancel_tree() {
@@ -294,19 +315,54 @@ int Executor::current_worker_index() const {
   return tls.owner == this ? tls.index : -1;
 }
 
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  s.jobs_run = jobs_run_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.injections = injections_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Executor::reset_stats() {
+  jobs_run_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  injections_.store(0, std::memory_order_relaxed);
+  max_queue_depth_.store(0, std::memory_order_relaxed);
+}
+
 void Executor::post_ticket(Ticket core) {
   const int self = current_worker_index();
+  std::size_t depth = 0;
   if (self >= 0) {
     WorkerSlot& slot = *slots_[static_cast<std::size_t>(self)];
     std::lock_guard<std::mutex> lock(slot.mutex);
     slot.deque.push_back(std::move(core));
+    depth = slot.deque.size();
   } else if (spawned_.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<std::mutex> lock(inject_mutex_);
-    inject_.push_back(std::move(core));
+    {
+      std::lock_guard<std::mutex> lock(inject_mutex_);
+      inject_.push_back(std::move(core));
+      depth = inject_.size();
+    }
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& injected =
+        obs::MetricsRegistry::global().counter("executor.injections");
+    injected.add();
   } else {
     // No workers: nobody would ever drain a ticket, and the submitting
     // thread's wait() pops straight from the group queue. Drop it.
     return;
+  }
+  raise_max(max_queue_depth_, depth);
+  if (obs::trace_enabled()) {
+    char name[32];
+    if (self >= 0) {
+      std::snprintf(name, sizeof(name), "executor/queue/w%d", self);
+    } else {
+      std::snprintf(name, sizeof(name), "executor/queue/inject");
+    }
+    obs::trace_counter(name, static_cast<double>(depth));
   }
   std::lock_guard<std::mutex> lock(sleep_mutex_);
   ++work_version_;
@@ -338,10 +394,22 @@ Executor::Ticket Executor::next_ticket(int self) {
   for (int d = 1; d < spawned; ++d) {
     const int victim = (self + d) % spawned;
     WorkerSlot& slot = *slots_[static_cast<std::size_t>(victim)];
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    if (!slot.deque.empty()) {
-      Ticket t = std::move(slot.deque.front());
-      slot.deque.pop_front();
+    bool stolen = false;
+    Ticket t;
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      if (!slot.deque.empty()) {
+        t = std::move(slot.deque.front());
+        slot.deque.pop_front();
+        stolen = true;
+      }
+    }
+    if (stolen) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& steals =
+          obs::MetricsRegistry::global().counter("executor.steals");
+      steals.add();
+      obs::trace_instant("executor/steal");
       return t;
     }
   }
@@ -350,9 +418,22 @@ Executor::Ticket Executor::next_ticket(int self) {
 
 void Executor::worker_loop(int index) {
   exec_detail::tls_binding = {this, index};
+  static obs::Counter& jobs =
+      obs::MetricsRegistry::global().counter("executor.jobs_run");
+  const auto run = [&](const Ticket& t) {
+    std::function<void()> fn;
+    if (GroupCore::pop_ticket(t, fn)) {
+      // Counted at pop, not completion: the pop precedes this job's
+      // finish_one under the group mutex, so every counted job is visible
+      // to a waiter by the time wait() unblocks.
+      jobs_run_.fetch_add(1, std::memory_order_relaxed);
+      jobs.add();
+      GroupCore::run_task(t, std::move(fn));
+    }
+  };
   for (;;) {
     if (Ticket t = next_ticket(index)) {
-      GroupCore::run_ticket(t);
+      run(t);
       continue;
     }
     std::uint64_t seen;
@@ -364,7 +445,7 @@ void Executor::worker_loop(int index) {
     // Re-scan after recording the version: a ticket posted in between bumps
     // the version, so the wait below cannot miss it.
     if (Ticket t = next_ticket(index)) {
-      GroupCore::run_ticket(t);
+      run(t);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

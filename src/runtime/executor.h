@@ -49,6 +49,17 @@ namespace trichroma {
 
 class Executor;
 
+/// Scheduling-telemetry snapshot (Executor::stats). Values are cumulative
+/// since construction or the last reset_stats(). Pure observability: none
+/// of these feed back into scheduling, and all are nondeterministic across
+/// runs (reports redact them under redact_timings).
+struct ExecutorStats {
+  std::uint64_t jobs_run = 0;    ///< tickets that executed a queued closure
+  std::uint64_t steals = 0;      ///< tickets taken from another worker's deque
+  std::uint64_t injections = 0;  ///< tickets routed via the injection deque
+  std::uint64_t max_queue_depth = 0;  ///< high-water mark of any one deque
+};
+
 namespace exec_detail {
 struct GroupCore;
 struct WorkerSlot;
@@ -116,6 +127,13 @@ class Executor {
   /// Index of the calling worker thread in THIS executor, or -1.
   int current_worker_index() const;
 
+  /// Cumulative scheduling telemetry. Racing reads while work is in flight
+  /// are fine (each field is individually atomic); for exact values quiesce
+  /// first (wait() on every group).
+  ExecutorStats stats() const;
+  /// Zeroes the telemetry — call between batches to scope stats to one run.
+  void reset_stats();
+
   static constexpr int kMaxWorkers = 64;
 
  private:
@@ -134,6 +152,13 @@ class Executor {
   mutable std::mutex pool_mutex_;  // guards spawning
   std::vector<std::unique_ptr<exec_detail::WorkerSlot>> slots_;
   std::atomic<int> spawned_{0};
+
+  // Telemetry (relaxed; bumped at ticket granularity, where a mutex has
+  // just been taken anyway — see stats()).
+  std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 
   std::mutex inject_mutex_;
   std::deque<Ticket> inject_;

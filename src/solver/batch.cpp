@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 #include "tasks/zoo.h"
 
@@ -57,12 +59,16 @@ BatchResult run_batch(const BatchOptions& options) {
   // only its own slot.
   std::atomic<std::size_t> next{0};
   auto drive = [&selected, &per_task, &out, &next] {
+    static obs::Counter& tasks_done =
+        obs::MetricsRegistry::global().counter("batch.tasks");
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= selected.size()) return;
+      TRI_SPAN("batch/", selected[i]->name);
       const Task task = selected[i]->build();
       out.tasks[i].name = selected[i]->name;
       out.tasks[i].report = run_pipeline(task, per_task).report;
+      tasks_done.add();
     }
   };
   if (jobs > 1 && selected.size() > 1) {

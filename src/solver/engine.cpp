@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/subdivision.h"
 
 namespace trichroma {
@@ -63,14 +65,27 @@ EngineReport AnalysisEngine::run(const EngineBudget& budget,
   EngineReport report = skipped();
   if (token.stop_requested()) {
     report.status = EngineStatus::Cancelled;
+    obs::trace_instant("pipeline/cancelled/", name());
+    obs::MetricsRegistry::global().counter("pipeline.engines_cancelled").add();
     return report;
   }
   const auto start = std::chrono::steady_clock::now();
-  execute(budget, token, report);
+  {
+    TRI_SPAN("engine/", name());
+    execute(budget, token, report);
+  }
   report.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start)
           .count();
+  obs::MetricsRegistry::global().counter("pipeline.engines_run").add();
+  if (report.status == EngineStatus::Conclusive) {
+    obs::trace_instant("pipeline/conclusive/", name());
+    obs::MetricsRegistry::global().counter("pipeline.engines_conclusive").add();
+  } else if (report.status == EngineStatus::Cancelled) {
+    obs::trace_instant("pipeline/cancelled/", name());
+    obs::MetricsRegistry::global().counter("pipeline.engines_cancelled").add();
+  }
   return report;
 }
 
@@ -276,6 +291,7 @@ void ProbeEngine::execute(const EngineBudget& budget,
       report.status = EngineStatus::Cancelled;
       break;
     }
+    TRI_SPAN("probe/r=", static_cast<long long>(r));
     std::shared_ptr<const SubdividedComplex> domain =
         budget.reuse_subdivisions
             ? ladder.share(r)

@@ -10,17 +10,48 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 namespace trichroma {
+
+namespace {
+
+// Registry counters for the cache and search layers (see obs/metrics.h for
+// the naming scheme). Looked up once; the references stay valid forever.
+obs::Counter& image_hit_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("cache.image.hits");
+  return c;
+}
+obs::Counter& image_miss_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("cache.image.misses");
+  return c;
+}
+obs::Counter& mask_hit_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("cache.edge_masks.hits");
+  return c;
+}
+obs::Counter& mask_miss_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("cache.edge_masks.misses");
+  return c;
+}
+
+}  // namespace
 
 const CompiledComplex* DeltaImageCache::image_of(const CarrierMap& delta,
                                                  const Simplex& carrier) {
   auto it = cache_.find(carrier);
   if (it != cache_.end()) {
     ++hits_;
+    image_hit_counter().add();
     return it->second.get();
   }
+  image_miss_counter().add();
   auto owned = CompiledComplex::compile(delta.image_complex(carrier));
   const CompiledComplex* ptr = owned.get();
   cache_.emplace(carrier, std::move(owned));
@@ -45,11 +76,13 @@ const DeltaImageCache::EdgeMasks* DeltaImageCache::find_edge_masks(
   auto it = masks_.find(key);
   if (it == masks_.end()) return nullptr;
   ++mask_hits_;
+  mask_hit_counter().add();
   return it->second.get();
 }
 
 const DeltaImageCache::EdgeMasks* DeltaImageCache::store_edge_masks(
     const EdgeClass& key, EdgeMasks masks) {
+  mask_miss_counter().add();
   auto owned = std::make_unique<EdgeMasks>(std::move(masks));
   const EdgeMasks* ptr = owned.get();
   masks_.emplace(key, std::move(owned));
@@ -112,6 +145,7 @@ struct Csp {
 
 Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
               const Task& task, bool chromatic, DeltaImageCache& images) {
+  TRI_SPAN("map_search/build_csp");
   Csp csp;
   // The compiled snapshot's locals are in raw-id order — identical to the
   // sorted vertex_ids() order the hash-set path used — so variable indices,
@@ -369,6 +403,7 @@ struct Solver {
     const std::size_t add = unflushed;
     unflushed = 0;
     if (total_nodes > local_budget) {
+      obs::MetricsRegistry::global().counter("map_search.cap_hits").add();
       aborted = true;
       return false;
     }
@@ -384,7 +419,13 @@ struct Solver {
     if (shared != nullptr) {
       const std::size_t now =
           shared->charged.fetch_add(add, std::memory_order_relaxed) + add;
+      if (obs::trace_enabled()) {
+        // Global-counter flush boundary: the advisory budget's view of the
+        // whole race, sampled from whichever worker flushed.
+        obs::trace_counter("map_search/charged", static_cast<double>(now));
+      }
       if (now > global_cap) {
+        obs::MetricsRegistry::global().counter("map_search.cap_hits").add();
         shared->stop.store(true, std::memory_order_relaxed);
         aborted = true;
         return false;
@@ -523,6 +564,7 @@ struct Expansion {
 // where prefix enumeration is charged — jobs replay their prefix for free,
 // so a prefix is paid for exactly once no matter how many workers touch it.
 Expansion expand_prefixes(const Csp& csp, const MapSearchOptions& options) {
+  TRI_SPAN("map_search/expand_prefixes");
   Expansion out;
   using Assignments = std::vector<std::pair<std::size_t, int>>;
   std::deque<Assignments> open;
@@ -606,8 +648,12 @@ void run_phase2(const Csp& csp, const MapSearchOptions& options, int threads,
   Executor& executor = Executor::global();
   executor.ensure_workers(threads - 1);
   JobGroup group(executor);
+  static obs::Counter& prefix_jobs =
+      obs::MetricsRegistry::global().counter("map_search.prefix_jobs");
+  prefix_jobs.add(jobs.size());
   for (std::size_t index = 0; index < jobs.size(); ++index) {
     group.submit([&csp, &options, &jobs, &shared, index] {
+      TRI_SPAN("map_search/prefix");
       PrefixJob& job = jobs[index];
       if (shared.stop.load(std::memory_order_relaxed) ||
           shared.best.load(std::memory_order_relaxed) < index) {
@@ -681,6 +727,7 @@ void canonical_walk(const Csp& csp, const MapSearchOptions& options,
         boundary += kNodeFlushBatch;
       }
       if (capped) {
+        obs::MetricsRegistry::global().counter("map_search.cap_hits").add();
         result.exhausted = false;
         result.nodes_explored = boundary;
         return;
@@ -754,6 +801,10 @@ int resolve_search_threads(int requested) { return resolve_threads(requested); }
 MapSearchResult find_decision_map(const VertexPool& pool,
                                   const SubdividedComplex& domain, const Task& task,
                                   const MapSearchOptions& options) {
+  TRI_SPAN("map_search/find_decision_map");
+  static obs::Counter& searches =
+      obs::MetricsRegistry::global().counter("map_search.searches");
+  searches.add();
   MapSearchResult result;
   if (options.cancel != nullptr &&
       options.cancel->load(std::memory_order_relaxed)) {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 namespace trichroma {
@@ -187,6 +189,9 @@ void merge_unknown_reason(const SolvabilityOptions& options,
 }  // namespace
 
 PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options) {
+  TRI_SPAN("pipeline/run");
+  obs::MetricsRegistry::global().counter("pipeline.runs").add();
+  const ExecutorStats exec_before = Executor::global().stats();
   const Clock::time_point start = Clock::now();
   PipelineResult out;
   PipelineReport& report = out.report;
@@ -197,6 +202,16 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   report.options = options;
   const int threads_resolved = resolve_search_threads(options.threads);
   const EngineBudget budget = budget_from(options);
+
+  // Counter deltas are this run's share of the shared pool's telemetry;
+  // max_queue_depth is a high-water mark and stays cumulative.
+  const auto sample_exec_stats = [&exec_before, &report] {
+    const ExecutorStats now = Executor::global().stats();
+    report.executor_stats.jobs_run = now.jobs_run - exec_before.jobs_run;
+    report.executor_stats.steals = now.steals - exec_before.steals;
+    report.executor_stats.injections = now.injections - exec_before.injections;
+    report.executor_stats.max_queue_depth = now.max_queue_depth;
+  };
 
   // Two processes: Proposition 5.4 decides exactly; nothing to race.
   if (task.num_processes == 2) {
@@ -213,6 +228,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
       report.reason = r.detail;
     }
     report.total_wall_ms = ms_since(start);
+    sample_exec_stats();
     return out;
   }
 
@@ -223,6 +239,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
                     options.schedule == PipelineSchedule::kAuto &&
                     (characterize_route || generic_route);
   report.schedule = race ? "racing" : "ladder";
+  obs::trace_instant("pipeline/schedule/", report.schedule.c_str());
 
   CancellationToken possibility_token;    // stops the chromatic probe
   CancellationToken impossibility_token;  // stops the T'/generic lane
@@ -243,6 +260,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
     executor.ensure_workers(threads_resolved > 2 ? threads_resolved - 1 : 1);
     JobGroup group(executor);
     group.submit([&]() {
+      TRI_SPAN("pipeline/lane/impossibility");
       if (generic_route) {
         run_generic_chain(lane_task, budget, impossibility_token,
                           possibility_token, lane);
@@ -327,6 +345,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   }
 
   report.total_wall_ms = ms_since(start);
+  sample_exec_stats();
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/executor.h"
 #include "solver/engine.h"
 #include "tasks/task.h"
 
@@ -67,7 +68,7 @@ struct SolvabilityOptions {
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
-/// trichroma.pipeline-report/3).
+/// trichroma.pipeline-report/4).
 struct PipelineReport {
   std::string task_name;
   int num_processes = 3;
@@ -92,6 +93,11 @@ struct PipelineReport {
   /// "skipped" or "raced out".
   bool characterization_computed = false;
   double total_wall_ms = 0.0;
+  /// Shared-pool scheduling telemetry, as a delta over this run (global
+  /// stats sampled at entry and exit). Nondeterministic — stealing depends
+  /// on timing, and concurrent batch jobs' tickets land in the same delta —
+  /// so reports zero it under redact_timings, like wall clocks.
+  ExecutorStats executor_stats;
   /// One entry per schedulable engine, in canonical pipeline order (engines
   /// the schedule never started appear with status "skipped").
   std::vector<EngineReport> engines;

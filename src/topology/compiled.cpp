@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace trichroma {
 
 namespace {
@@ -235,6 +238,10 @@ std::shared_ptr<const CompiledComplex> CompiledComplex::Builder::finish() {
 
 std::shared_ptr<const CompiledComplex> CompiledComplex::compile(
     const SimplicialComplex& k) {
+  TRI_SPAN("topology/compile");
+  static obs::Counter& compiles =
+      obs::MetricsRegistry::global().counter("topology.compiles");
+  compiles.add();
   Builder builder;
   k.for_each([&builder](const Simplex& s) { builder.add_closed(s); });
   auto out = builder.finish();

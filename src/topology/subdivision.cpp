@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace trichroma {
 
 Simplex SubdividedComplex::carrier_of(const Simplex& s) const {
@@ -62,6 +65,8 @@ std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
 }
 
 SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev) {
+  TRI_SPAN("topology/subdivide_once");
+  obs::MetricsRegistry::global().counter("topology.subdivide.builds").add();
   SubdividedComplex out;
   ValuePool& values = pool.values();
   const ValueId view_tag = values.of_string("view");
@@ -126,6 +131,9 @@ std::shared_ptr<const SubdividedComplex> SubdivisionLadder::share(int r) {
         std::make_shared<const SubdividedComplex>(identity_subdivision(base_)));
   }
   while (max_computed() < r) {
+    // Per-radius Ch^r build: the dominant cost of deep probes (Kozlov-style
+    // blowup), so each level gets its own span.
+    TRI_SPAN("topology/ch/r=", static_cast<long long>(max_computed() + 1));
     levels_.push_back(std::make_shared<const SubdividedComplex>(
         subdivide_once(pool_, *levels_.back())));
   }

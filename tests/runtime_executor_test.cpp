@@ -153,6 +153,100 @@ TEST(Executor, ParentWaitCoversChildGroupTasks) {
   }
 }
 
+TEST(ExecutorStats, CountsInjectionsAndJobsRunByPoolWorkers) {
+  // Two jobs submitted from this (non-worker) thread, each held open until
+  // both have been claimed: both tickets must route through the injection
+  // deque and be executed by the two pool workers — this thread only calls
+  // wait() after both started, so it can never help-run them inline.
+  Executor executor(2);
+  EXPECT_EQ(executor.stats().jobs_run, 0u);
+  JobGroup group(executor);
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    group.submit([&] {
+      ++started;
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+  release = true;
+  group.wait();
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.jobs_run, 2u);
+  EXPECT_EQ(stats.injections, 2u);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+}
+
+TEST(ExecutorStats, CountsStealsFromAnotherWorkersDeque) {
+  // Worker 0 runs a job that pushes two sub-tasks onto its OWN deque and
+  // then blocks until both completed. It cannot run them itself, and this
+  // thread spins (never waits, so never helps): worker 1 is the only actor
+  // left, and its only route to the tickets is stealing from worker 0.
+  Executor executor(2);
+  JobGroup group(executor);
+  std::atomic<int> done{0};
+  group.submit([&] {
+    JobGroup inner(executor, &group);
+    inner.submit([&] { ++done; });
+    inner.submit([&] { ++done; });
+    while (done.load() < 2) std::this_thread::yield();
+    inner.wait();
+  });
+  while (done.load() < 2) std::this_thread::yield();
+  group.wait();
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.steals, 2u);
+  EXPECT_EQ(stats.jobs_run, 3u);  // the outer job + both stolen sub-tasks
+  EXPECT_EQ(stats.injections, 1u);  // only the outer job came from outside
+}
+
+TEST(ExecutorStats, ResetScopesStatsBetweenBatches) {
+  Executor executor(2);
+  const auto run_batch = [&executor](int n) {
+    JobGroup group(executor);
+    std::atomic<int> started{0};
+    std::atomic<bool> release{false};
+    for (int i = 0; i < n; ++i) {
+      group.submit([&] {
+        ++started;
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    while (started.load() < n) std::this_thread::yield();
+    release = true;
+    group.wait();
+  };
+  run_batch(2);
+  EXPECT_EQ(executor.stats().jobs_run, 2u);
+  executor.reset_stats();
+  const ExecutorStats zeroed = executor.stats();
+  EXPECT_EQ(zeroed.jobs_run, 0u);
+  EXPECT_EQ(zeroed.steals, 0u);
+  EXPECT_EQ(zeroed.injections, 0u);
+  EXPECT_EQ(zeroed.max_queue_depth, 0u);
+  // The next batch is counted from zero, not on top of the first.
+  run_batch(2);
+  EXPECT_EQ(executor.stats().jobs_run, 2u);
+  EXPECT_EQ(executor.stats().injections, 2u);
+}
+
+TEST(ExecutorStats, ZeroWorkerInlineExecutionCountsNothing) {
+  // Inline wait() execution never routes through tickets: drops at post,
+  // runs via the group queue — the scheduling telemetry stays silent.
+  Executor executor(0);
+  JobGroup group(executor);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) group.submit([&] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 4);
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.jobs_run, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.injections, 0u);
+  EXPECT_EQ(stats.max_queue_depth, 0u);
+}
+
 TEST(Executor, CurrentWorkerIndexIdentifiesPoolThreads) {
   Executor executor(2);
   EXPECT_EQ(executor.current_worker_index(), -1);  // not a pool thread

@@ -9,6 +9,7 @@
 #   engine     bench_engine_perf  -> BENCH_engine.json     (default)
 #   substrate  bench_substrate    -> BENCH_substrate.json
 #   batch      bench_batch        -> BENCH_batch.json
+#   obs        bench_obs          -> BENCH_obs.json
 #
 # e.g.  tools/run_bench.sh engine build-release --benchmark_filter=BM_DecisionMapSearch
 #       tools/run_bench.sh batch build-release --benchmark_filter=BM_ZooBatch
@@ -33,7 +34,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 suite="engine"
 case "${1:-}" in
-  engine|substrate|batch)
+  engine|substrate|batch|obs)
     suite="$1"
     shift
     ;;
@@ -45,6 +46,7 @@ case "$suite" in
   engine) target="bench_engine_perf" ;;
   substrate) target="bench_substrate" ;;
   batch) target="bench_batch" ;;
+  obs) target="bench_obs" ;;
 esac
 
 bench="$build_dir/bench/$target"

@@ -8,9 +8,16 @@
 //   trichroma dot <file> in|out     GraphViz rendering of a complex
 //   trichroma run <file> [seed]     synthesize a protocol and execute it
 //   trichroma list                  list built-in demo tasks
+//   trichroma version               print version / schema / build type
 //
 // The text format is documented in src/io/task_format.h; `demo` is the
 // quickest way to get a template to edit.
+//
+// `decide --trace out.json` records a Chrome trace-event timeline of the
+// run (spans from the executor, map searches, pipeline lanes and topology
+// substrate) — open it in chrome://tracing or https://ui.perfetto.dev.
+// `batch --trace-dir DIR` does the same for a whole batch, writing
+// DIR/trace.json plus the counter totals as DIR/metrics.json.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +32,8 @@
 #include "io/task_format.h"
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocols/pipeline.h"
 #include "protocols/verify.h"
 #include "solver/batch.h"
@@ -64,6 +73,7 @@ int usage() {
                "  synth <file>       print the synthesized protocol's decision table\n"
                "  dot <file> in|out  GraphViz for the input/output complex\n"
                "  run <file> [seed]  synthesize and execute a protocol\n"
+               "  version            print version, report schema and build type\n"
                "options:\n"
                "  --threads N        pipeline + search workers (default: hardware\n"
                "                     concurrency; 1 = sequential ladder)\n"
@@ -75,7 +85,10 @@ int usage() {
                "  --report FILE      (decide/synth) write the JSON pipeline report\n"
                "  --report-dir DIR   (batch) write one JSON report per task\n"
                "                     (timings redacted: files are byte-identical\n"
-               "                     for every --jobs and --threads value)\n");
+               "                     for every --jobs and --threads value)\n"
+               "  --trace FILE       (decide/synth) write a Chrome trace-event\n"
+               "                     timeline (chrome://tracing, Perfetto)\n"
+               "  --trace-dir DIR    (batch) write DIR/trace.json + DIR/metrics.json\n");
   return 2;
 }
 
@@ -85,6 +98,38 @@ struct CliOptions {
   std::vector<std::string> tasks;  // batch: catalog subset
   std::string report_path;         // decide/synth
   std::string report_dir;          // batch
+  std::string trace_path;          // decide/synth
+  std::string trace_dir;           // batch
+};
+
+/// RAII trace session around one CLI command: collection starts at
+/// construction and the timeline is written when the command scope closes
+/// (after all instrumented work quiesced). Inactive when `path` is empty.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::trace_start();
+  }
+  ~TraceSession() {
+    if (path_.empty()) return;
+    obs::trace_stop();
+    try {
+      obs::trace_write(path_);
+      std::printf("trace:   %s", path_.c_str());
+      if (const std::uint64_t dropped = obs::trace_dropped()) {
+        std::printf("  (%llu events dropped; buffers were full)",
+                    static_cast<unsigned long long>(dropped));
+      }
+      std::printf("\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
 };
 
 Task load(const char* path) { return io::parse_task(io::read_file(path)); }
@@ -106,7 +151,25 @@ int cmd_check(const Task& task) {
   return 1;
 }
 
+int cmd_version() {
+#if defined(TRICHROMA_TSAN_BUILD)
+  const char* build_type = "TSan";
+#elif !defined(NDEBUG)
+  const char* build_type = "assert";
+#else
+  const char* build_type = "Release";
+#endif
+#ifndef TRICHROMA_VERSION
+#define TRICHROMA_VERSION "unknown"
+#endif
+  std::printf("trichroma %s\n", TRICHROMA_VERSION);
+  std::printf("report schema: %s\n", io::report_schema());
+  std::printf("build type: %s\n", build_type);
+  return 0;
+}
+
 int cmd_decide(const Task& task, const CliOptions& cli) {
+  TraceSession trace(cli.trace_path);
   const SolvabilityResult r = decide_solvability(task, cli.solve);
   std::printf("%s", task.summary().c_str());
   std::printf("verdict: %s\n", to_string(r.verdict));
@@ -127,11 +190,21 @@ int cmd_batch(const CliOptions& cli) {
   if (!cli.report_dir.empty()) {
     std::filesystem::create_directories(cli.report_dir);
   }
+  if (!cli.trace_dir.empty()) {
+    std::filesystem::create_directories(cli.trace_dir);
+  }
+  TraceSession trace(cli.trace_dir.empty() ? std::string()
+                                           : cli.trace_dir + "/trace.json");
   BatchOptions batch;
   batch.solve = cli.solve;
   batch.jobs = cli.jobs;
   batch.only = cli.tasks;
   const BatchResult result = run_batch(batch);
+  if (!cli.trace_dir.empty()) {
+    io::write_text_file(cli.trace_dir + "/metrics.json",
+                        obs::MetricsRegistry::global().to_json());
+    std::printf("metrics: %s/metrics.json\n", cli.trace_dir.c_str());
+  }
 
   std::printf("batch: %zu tasks, %d jobs, %.1f ms\n\n", result.tasks.size(),
               resolve_batch_jobs(cli.jobs), result.wall_ms);
@@ -176,6 +249,7 @@ int cmd_dot(const Task& task, const char* which) {
 int cmd_synth(const Task& task, const CliOptions& cli) {
   // Direct chromatic synthesis: find a decision map and print it as the
   // wait-free protocol it encodes.
+  TraceSession trace(cli.trace_path);
   const SolvabilityResult r = decide_solvability(task, cli.solve);
   maybe_write_report(r, cli);
   if (r.verdict != Verdict::Solvable || !r.has_chromatic_witness) {
@@ -311,6 +385,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--report-dir") == 0) {
       if (i + 1 >= argc) return usage();
       cli.report_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.trace_dir = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -320,6 +400,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "version") {
+      return cmd_version();
+    }
     if (command == "list") {
       for (const auto& [name, make] : demo_tasks()) {
         (void)make;
