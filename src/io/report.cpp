@@ -89,13 +89,16 @@ void emit_engine(Builder& b, const EngineReport& e,
   b.open("capped", '[');
   for (const std::string& c : e.capped) b.field("", quote(c));
   b.close(']');
+  b.open("domain_overflow", '[');
+  for (const std::string& c : e.overflowed) b.field("", quote(c));
+  b.close(']');
   b.field("wall_ms", num(options.redact_timings ? 0.0 : e.wall_ms));
   b.close('}');
 }
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/4"; }
+const char* report_schema() { return "trichroma.pipeline-report/5"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -169,6 +172,7 @@ std::string to_json(const PipelineReport& report,
   b.field("steals", std::to_string(exec.steals));
   b.field("injections", std::to_string(exec.injections));
   b.field("max_queue_depth", std::to_string(exec.max_queue_depth));
+  b.field("help_runs", std::to_string(exec.help_runs));
   b.close('}');
   b.close('}');
 

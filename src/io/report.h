@@ -2,8 +2,12 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/4"
-// and consumers should dispatch on it. Version 4 added the "metrics"
+//   "schema": "trichroma.pipeline-report/5"
+// and consumers should dispatch on it. Version 5 added the per-engine
+// "domain_overflow" array (probe rungs whose CSP exceeded the 64-value
+// word-parallel domain width — a representation limit distinct from a
+// budget cap) and the executor's "help_runs" counter (tasks drained inline
+// by a blocked wait()). Version 4 added the "metrics"
 // section: deterministic rollups over the engines (node and cache totals,
 // identical at every thread count) plus the shared executor's scheduling
 // telemetry, which IS timing-dependent and is therefore zeroed under
@@ -16,7 +20,7 @@
 // indistinguishable from a lane that never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/4",
+//     "schema": "trichroma.pipeline-report/5",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "reuse_subdivisions", "reuse_images" },
@@ -35,7 +39,7 @@
 //       "image_cache": { "hits", "misses" },   // sums over engines
 //       "edge_masks": { "hits", "misses" },    // sums over engines
 //       "executor": { "jobs_run", "steals", "injections",
-//                     "max_queue_depth" }
+//                     "max_queue_depth", "help_runs" }
 //           // scheduling telemetry: nondeterministic, zeroed under
 //           // redact_timings (deltas over the run; max_queue_depth is the
 //           // pool's cumulative high-water mark)
@@ -49,6 +53,7 @@
 //       "image_cache": { "hits", "misses" },
 //       "edge_masks": { "hits", "misses" },
 //       "capped": [ string ],
+//       "domain_overflow": [ string ],
 //       "wall_ms": number
 //     } ]
 //   }

@@ -164,6 +164,7 @@ struct GroupCore {
       std::shared_ptr<GroupCore> from;
       std::function<void()> fn;
       if (pop_subtree(self, &from, &fn)) {
+        executor->help_runs_.fetch_add(1, std::memory_order_relaxed);
         run_task(from, std::move(fn));
         continue;
       }
@@ -321,6 +322,7 @@ ExecutorStats Executor::stats() const {
   s.steals = steals_.load(std::memory_order_relaxed);
   s.injections = injections_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.help_runs = help_runs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -329,6 +331,7 @@ void Executor::reset_stats() {
   steals_.store(0, std::memory_order_relaxed);
   injections_.store(0, std::memory_order_relaxed);
   max_queue_depth_.store(0, std::memory_order_relaxed);
+  help_runs_.store(0, std::memory_order_relaxed);
 }
 
 void Executor::post_ticket(Ticket core) {

@@ -58,6 +58,9 @@ struct ExecutorStats {
   std::uint64_t steals = 0;      ///< tickets taken from another worker's deque
   std::uint64_t injections = 0;  ///< tickets routed via the injection deque
   std::uint64_t max_queue_depth = 0;  ///< high-water mark of any one deque
+  /// Tasks drained inline by a blocked wait() (help-while-waiting) instead
+  /// of by a pool worker's ticket. Disjoint from jobs_run.
+  std::uint64_t help_runs = 0;
 };
 
 namespace exec_detail {
@@ -159,6 +162,7 @@ class Executor {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> injections_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> help_runs_{0};
 
   std::mutex inject_mutex_;
   std::deque<Ticket> inject_;

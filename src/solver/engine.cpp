@@ -314,7 +314,11 @@ void ProbeEngine::execute(const EngineBudget& budget,
       report.status = EngineStatus::Cancelled;
       break;
     }
-    if (!last_.exhausted) {
+    if (last_.domain_overflow) {
+      // Representation limit, not a budget cap: keep climbing (larger radii
+      // have different domains), but record the rung for the Unknown reason.
+      report.overflowed.push_back(capped_label(kind_) + std::to_string(r));
+    } else if (!last_.exhausted) {
       report.capped.push_back(capped_label(kind_) + std::to_string(r));
     }
   }

@@ -83,6 +83,10 @@ struct EngineReport {
   /// Which probe/radius combinations stopped on the node cap — the material
   /// for an honest Unknown reason.
   std::vector<std::string> capped;
+  /// Which probe/radius combinations exceeded the word-parallel domain width
+  /// (MapSearchResult::domain_overflow) — a representation limit, reported
+  /// separately from budget caps so the Unknown reason names it.
+  std::vector<std::string> overflowed;
   double wall_ms = 0.0;
 };
 

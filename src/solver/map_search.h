@@ -17,10 +17,12 @@
 // (Lemma 5.3): processes land on one output simplex but possibly on
 // vertices of the wrong color.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -44,19 +46,25 @@ namespace trichroma {
 /// across different Δs would alias. Returned pointers stay valid for the
 /// cache's lifetime.
 ///
-/// The cache also memoizes the *edge compatibility bitmasks* derived from
-/// the images. A CSP variable's candidate list is fully determined by
+/// The cache also memoizes the *constraint tables* derived from the images.
+/// A CSP variable's candidate list is fully determined by
 /// (Δ(carrier(v)), color(v), chromatic?), so every subdivision edge with the
 /// same (edge image, endpoint images, endpoint colors) triple compiles to
-/// the same pair of mask tables — at radius r almost all of the 13^r-growth
-/// edge population collapses onto a handful of classes, and the same classes
-/// recur at every radius. Keys are the interned image pointers, which is why
-/// the mask memo lives here: it is only valid alongside the image memo that
-/// keeps those pointers stable.
+/// the same pair of per-value compatibility bitmask rows, and every
+/// subdivision triangle with the same (triangle image, member images, member
+/// colors) class compiles to the same three completion tables — at radius r
+/// almost all of the 13^r-growth edge/triangle population collapses onto a
+/// handful of classes, and the same classes recur at every radius. Keys are
+/// the interned image pointers, which is why the mask memos live here: they
+/// are only valid alongside the image memo that keeps those pointers stable.
+/// All mask/table rows are stored on one internal monotonic arena, so CSP
+/// compilation only touches the allocator on a class miss.
 ///
 /// Not thread-safe; the CSP is compiled single-threaded.
 class DeltaImageCache {
  public:
+  using Mask = std::uint64_t;
+
   const CompiledComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
 
   std::size_t size() const { return cache_.size(); }
@@ -75,28 +83,76 @@ class DeltaImageCache {
     bool operator==(const EdgeClass&) const = default;
   };
   /// Per-value compatibility bitmasks for one edge class: `ab[i]` masks the
-  /// b-values compatible with a-value i, `ba[j]` vice versa.
+  /// b-values compatible with a-value i, `ba[j]` vice versa (rows live on
+  /// the cache arena). `skip_ab` bit i is set when row `ab[i]` permits b's
+  /// whole domain — assigning a := i can never prune b, so propagation may
+  /// skip the row load entirely; `skip_ba` mirrors it.
   struct EdgeMasks {
-    std::vector<std::uint64_t> ab, ba;
+    const Mask* ab = nullptr;
+    const Mask* ba = nullptr;
+    Mask skip_ab = 0;
+    Mask skip_ba = 0;
+    std::uint32_t na = 0;
+    std::uint32_t nb = 0;
   };
 
-  /// Memoized masks for `key`, or nullptr. Pointers stay valid for the
-  /// cache's lifetime.
-  const EdgeMasks* find_edge_masks(const EdgeClass& key) const;
-  const EdgeMasks* store_edge_masks(const EdgeClass& key, EdgeMasks masks);
+  /// Memoized masks for `key`, compiled from the candidate value lists on a
+  /// miss. Exactly one lookup per subdivision edge, so
+  /// edge_mask_hits() + edge_mask_misses() counts edges. Pointers stay
+  /// valid for the cache's lifetime.
+  const EdgeMasks* edge_masks(const EdgeClass& key, const VertexId* vals_a,
+                              std::uint32_t na, const VertexId* vals_b,
+                              std::uint32_t nb);
   std::size_t edge_mask_hits() const { return mask_hits_; }
   std::size_t edge_mask_misses() const { return masks_.size(); }
+
+  /// Identity of one compiled triangle constraint: the face image plus the
+  /// three members' (image, color) pairs in ascending variable order.
+  struct TriClass {
+    const CompiledComplex* allowed;  // Δ(carrier(triangle))
+    std::array<const CompiledComplex*, 3> image;
+    std::array<Color, 3> color;
+
+    bool operator==(const TriClass&) const = default;
+  };
+  /// Completion tables for one triangle class. With members (0,1,2) in
+  /// ascending variable order, `comp[p]` is a flat `n[q1] * n[q2]` table
+  /// over the *other* two members q1 < q2; entry `comp[p][j1 * n[q2] + j2]`
+  /// masks the p-values that close a valid Δ-image face with those two
+  /// assignments. Propagation of a triangle with one unassigned member is a
+  /// single table load + AND.
+  struct TriTables {
+    std::array<const Mask*, 3> comp = {nullptr, nullptr, nullptr};
+    std::array<std::uint32_t, 3> n = {0, 0, 0};
+  };
+
+  /// Memoized completion tables for `key`, compiled from the three
+  /// candidate value lists on a miss. Pointers stay valid for the cache's
+  /// lifetime.
+  const TriTables* tri_tables(const TriClass& key,
+                              const std::array<const VertexId*, 3>& vals,
+                              const std::array<std::uint32_t, 3>& n);
+  std::size_t tri_table_hits() const { return tri_hits_; }
+  std::size_t tri_table_misses() const { return tris_.size(); }
 
  private:
   struct EdgeClassHash {
     std::size_t operator()(const EdgeClass& k) const noexcept;
   };
+  struct TriClassHash {
+    std::size_t operator()(const TriClass& k) const noexcept;
+  };
 
   std::unordered_map<Simplex, std::shared_ptr<const CompiledComplex>, SimplexHash>
       cache_;
-  std::unordered_map<EdgeClass, std::unique_ptr<EdgeMasks>, EdgeClassHash> masks_;
+  std::unordered_map<EdgeClass, EdgeMasks, EdgeClassHash> masks_;
+  std::unordered_map<TriClass, TriTables, TriClassHash> tris_;
+  /// Backing store for all mask rows and completion tables; released with
+  /// the cache, never per-row.
+  std::pmr::monotonic_buffer_resource mask_arena_;
   std::size_t hits_ = 0;
   mutable std::size_t mask_hits_ = 0;
+  mutable std::size_t tri_hits_ = 0;
 };
 
 struct MapSearchOptions {
@@ -135,6 +191,11 @@ struct MapSearchResult {
   bool found = false;
   bool exhausted = true;  ///< meaningful when !found: whole space explored
   bool cancelled = false;  ///< stopped by MapSearchOptions::cancel
+  /// Some subdivision vertex had more than 64 candidate values — the
+  /// word-parallel domains cannot represent the instance, so nothing was
+  /// searched. Always reported with exhausted = false: this is a
+  /// representation limit, never evidence of unsolvability.
+  bool domain_overflow = false;
   VertexMap map;           ///< the decision map, when found
   /// Backtracking nodes visited, aggregated across all workers.
   std::size_t nodes_explored = 0;

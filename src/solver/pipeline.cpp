@@ -163,27 +163,44 @@ const EngineReport* best_conclusive(const std::vector<EngineReport>& engines) {
 
 void merge_unknown_reason(const SolvabilityOptions& options,
                           PipelineReport& report) {
-  // Budget truncations, in classic ladder order: chromatic rungs first,
-  // then the T'-agnostic rungs.
+  // Budget truncations and domain overflows, in classic ladder order:
+  // chromatic rungs first, then the T'-agnostic rungs.
   std::vector<std::string> capped;
+  std::vector<std::string> overflowed;
   for (const char* name : {"chromatic-probe", "tp-agnostic-probe"}) {
     for (const EngineReport& e : report.engines) {
       if (e.name != name) continue;
       capped.insert(capped.end(), e.capped.begin(), e.capped.end());
+      overflowed.insert(overflowed.end(), e.overflowed.begin(),
+                        e.overflowed.end());
     }
   }
-  if (capped.empty()) {
+  if (capped.empty() && overflowed.empty()) {
     report.reason = "no decision map up to radius " +
                     std::to_string(options.max_radius) +
                     " and no obstruction found";
-  } else {
+    return;
+  }
+  auto join = [](const std::vector<std::string>& probes) {
     std::string which;
-    for (const std::string& probe : capped) {
+    for (const std::string& probe : probes) {
       which += (which.empty() ? "" : "; ") + probe;
     }
-    report.reason = "search budget exhausted before a conclusion (node cap " +
-                    std::to_string(options.node_cap) + " hit by: " + which + ")";
+    return which;
+  };
+  std::string reason;
+  if (!overflowed.empty()) {
+    reason = "decision-map domain wider than 64 values (word-parallel CSP "
+             "limit) for: " +
+             join(overflowed);
   }
+  if (!capped.empty()) {
+    if (!reason.empty()) reason += "; ";
+    reason += "search budget exhausted before a conclusion (node cap " +
+              std::to_string(options.node_cap) + " hit by: " + join(capped) +
+              ")";
+  }
+  report.reason = reason;
 }
 
 }  // namespace
@@ -211,6 +228,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
     report.executor_stats.steals = now.steals - exec_before.steals;
     report.executor_stats.injections = now.injections - exec_before.injections;
     report.executor_stats.max_queue_depth = now.max_queue_depth;
+    report.executor_stats.help_runs = now.help_runs - exec_before.help_runs;
   };
 
   // Two processes: Proposition 5.4 decides exactly; nothing to race.

@@ -68,7 +68,7 @@ struct SolvabilityOptions {
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
-/// trichroma.pipeline-report/4).
+/// trichroma.pipeline-report/5).
 struct PipelineReport {
   std::string task_name;
   int num_processes = 3;

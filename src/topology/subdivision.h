@@ -15,6 +15,8 @@
 // connects subdivisions to carrier maps: a simplicial map f from Ch^r(I) is
 // "carried by Δ" iff f(ξ) ∈ Δ(carrier(ξ)) for every simplex ξ.
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -64,6 +66,41 @@ SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComple
 /// ordered). For |items| = 3 there are 13. Deterministic order.
 std::vector<std::vector<std::vector<VertexId>>> ordered_partitions(
     const std::vector<VertexId>& items);
+
+/// Compiled combinatorics of Ch(σ) for an abstract m-vertex simplex: the
+/// standard chromatic subdivision is fixed combinatorics (Kozlov), so it is
+/// derived once per dimension and *stamped* onto every concrete simplex
+/// instead of re-enumerating ordered set partitions per simplex per task.
+/// Positions index σ's vertices in ascending VertexId order; a subdivision
+/// vertex is the pair (position, view) with the view a bitmask over
+/// positions. `uniq` lists the distinct pairs in the exact first-occurrence
+/// order of the partition enumeration — interning them in this order
+/// reproduces the reference `subdivide_once`'s pool state bit for bit.
+struct ChTemplate {
+  struct TVert {
+    std::uint8_t pos;   ///< whose vertex (position in σ, ascending ids)
+    std::uint8_t view;  ///< bitmask over positions: B1 ∪ ... ∪ Bj
+  };
+  std::size_t n = 0;            ///< σ's vertex count
+  std::vector<TVert> uniq;      ///< distinct vertices, first-occurrence order
+  /// Facet slots, `num_facets × n`, each an index into `uniq`; facet f's
+  /// vertices are slots[f*n .. f*n+n) in partition block order.
+  std::vector<std::uint16_t> slots;
+  std::size_t num_facets = 0;   ///< the ordered-Bell number of n
+};
+
+/// Derives the template for an m-vertex simplex (exposed for tests).
+ChTemplate build_ch_template(std::size_t n);
+
+/// Memoized template per dimension; same 8-vertex limit (and exception) as
+/// `ordered_partitions`.
+const ChTemplate& ch_template(std::size_t n);
+
+/// The pre-template `subdivide_once` (per-simplex ordered-partition
+/// enumeration), kept as the differential-testing oracle for the stamped
+/// path. Produces identical complexes, carriers, and pool state.
+SubdividedComplex subdivide_once_reference(VertexPool& pool,
+                                           const SubdividedComplex& prev);
 
 /// Incremental cache of the subdivision tower Ch^0, Ch^1, Ch^2, ... of one
 /// base complex. Every cached level carries its CompiledComplex snapshot,

@@ -42,7 +42,7 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/4\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/5\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
     EXPECT_NE(json.find("\"engines\": ["), std::string::npos);
@@ -106,18 +106,20 @@ TEST(Report, RedactTimingsZeroesExecutorTelemetry) {
   // as a wall clock — so redaction must zero it for byte-stable reports,
   // while the unredacted rendering keeps the sampled values.
   PipelineReport report;
-  report.executor_stats = ExecutorStats{12, 3, 4, 7};
+  report.executor_stats = ExecutorStats{12, 3, 4, 7, 5};
   io::ReportJsonOptions redacted;
   redacted.redact_timings = true;
   const std::string text = io::to_json(report, redacted);
   EXPECT_NE(text.find("\"jobs_run\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"steals\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"max_queue_depth\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"help_runs\": 0"), std::string::npos);
   const std::string raw = io::to_json(report);
   EXPECT_NE(raw.find("\"jobs_run\": 12"), std::string::npos);
   EXPECT_NE(raw.find("\"steals\": 3"), std::string::npos);
   EXPECT_NE(raw.find("\"injections\": 4"), std::string::npos);
   EXPECT_NE(raw.find("\"max_queue_depth\": 7"), std::string::npos);
+  EXPECT_NE(raw.find("\"help_runs\": 5"), std::string::npos);
 }
 
 TEST(Report, JsonEscapeHandlesControlAndQuoteCharacters) {

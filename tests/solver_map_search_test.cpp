@@ -111,6 +111,24 @@ TEST(MapSearch, NodeCapReportsNonExhaustive) {
   EXPECT_FALSE(res.exhausted);
 }
 
+TEST(MapSearch, DomainWiderThan64ReportsOverflowNotUnsat) {
+  // 65 candidate names per corner vertex exceed the 64-bit word-parallel
+  // domain representation. Before the explicit outcome this silently set
+  // trivially_unsat, which reads as a (bogus) impossibility proof; it must
+  // report an inconclusive overflow instead.
+  const Task t = zoo::renaming(65);
+  const auto res = search(t, 0, true);
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_TRUE(res.domain_overflow);
+  EXPECT_EQ(res.nodes_explored, 0u);
+  // Exactly 64 still fits and must genuinely search (renaming with ids
+  // known is solvable at radius 0).
+  const auto res64 = search(zoo::renaming(64), 0, true);
+  EXPECT_TRUE(res64.found);
+  EXPECT_FALSE(res64.domain_overflow);
+}
+
 TEST(MapSearch, LoopAgreementInstances) {
   // Filled hexagon: contractible loop, solvable at small radius.
   const Task filled = zoo::loop_agreement_filled_triangle();

@@ -143,6 +143,31 @@ TEST(Pipeline, ReportListsEveryEngineInCanonicalOrder) {
   EXPECT_EQ(r.report.engines[6].status, EngineStatus::Skipped);
 }
 
+TEST(Pipeline, DomainOverflowSurfacesInTheUnknownReason) {
+  // Domains wider than 64 values are a representation limit of the
+  // word-parallel search, not evidence either way; the Unknown reason must
+  // name the limit and the rung it hit, not masquerade as "no map found".
+  const Task t = zoo::renaming(65);
+  SolvabilityOptions options;
+  options.threads = 1;
+  options.max_radius = 0;
+  options.use_characterization = false;
+  const PipelineResult r = run_pipeline(t, options);
+  EXPECT_EQ(r.report.verdict, Verdict::Unknown);
+  EXPECT_NE(r.report.reason.find("domain wider than 64 values"),
+            std::string::npos)
+      << r.report.reason;
+  EXPECT_NE(r.report.reason.find("chromatic probe at radius 0"),
+            std::string::npos)
+      << r.report.reason;
+  for (const EngineReport& e : r.report.engines) {
+    if (e.name != "chromatic-probe") continue;
+    ASSERT_EQ(e.overflowed.size(), 1u);
+    EXPECT_EQ(e.overflowed[0], "chromatic probe at radius 0");
+    EXPECT_TRUE(e.capped.empty());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cancellation
 // ---------------------------------------------------------------------------

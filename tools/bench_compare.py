@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Diff a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Matches benchmarks by name (per-iteration rows only — aggregate rows from
+--benchmark_repetitions are skipped), compares real_time after normalizing
+time units, and prints a table of ratios. Exits non-zero when any benchmark
+regressed past the threshold (default +25%), which is what the CI release
+job gates on. Benchmarks present on only one side are reported but never
+fail the run: a renamed or newly added benchmark needs a baseline refresh,
+not a red build.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """name -> real_time in nanoseconds, iteration rows only."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # mean/median/stddev aggregates
+        unit = _UNIT_NS.get(row.get("time_unit", "ns"))
+        if unit is None:
+            raise ValueError(
+                f"{path}: unknown time_unit {row.get('time_unit')!r} "
+                f"for {row.get('name')!r}"
+            )
+        out[row["name"]] = float(row["real_time"]) * unit
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail when a benchmark regressed past the threshold."
+    )
+    parser.add_argument("baseline", help="checked-in BENCH_*.json")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown per benchmark (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    regressions = []
+    width = max((len(n) for n in base), default=10)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'fresh':>12}  {'ratio':>7}")
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"{name:<{width}}  {base[name]:>12.0f}  {'MISSING':>12}")
+            continue
+        ratio = fresh[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {base[name]:>12.0f}  {fresh[name]:>12.0f}"
+            f"  {ratio:>6.2f}x{flag}"
+        )
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<{width}}  {'NEW':>12}  {fresh[name]:>12.0f}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed past "
+            f"+{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed past +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

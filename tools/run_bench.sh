@@ -10,6 +10,7 @@
 #   substrate  bench_substrate    -> BENCH_substrate.json
 #   batch      bench_batch        -> BENCH_batch.json
 #   obs        bench_obs          -> BENCH_obs.json
+#   scaling    bench_scaling      -> BENCH_scaling.json
 #
 # e.g.  tools/run_bench.sh engine build-release --benchmark_filter=BM_DecisionMapSearch
 #       tools/run_bench.sh batch build-release --benchmark_filter=BM_ZooBatch
@@ -34,7 +35,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 suite="engine"
 case "${1:-}" in
-  engine|substrate|batch|obs)
+  engine|substrate|batch|obs|scaling)
     suite="$1"
     shift
     ;;
@@ -47,6 +48,7 @@ case "$suite" in
   substrate) target="bench_substrate" ;;
   batch) target="bench_batch" ;;
   obs) target="bench_obs" ;;
+  scaling) target="bench_scaling" ;;
 esac
 
 bench="$build_dir/bench/$target"
