@@ -98,7 +98,7 @@ void emit_engine(Builder& b, const EngineReport& e,
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/5"; }
+const char* report_schema() { return "trichroma.pipeline-report/6"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -127,6 +127,12 @@ std::string to_json(const PipelineReport& report,
   // so recording the worker count only created spurious diffs between
   // otherwise identical runs. The resolved lane schedule replaces them.
   b.field("schedule", quote(report.schedule));
+  // Schema v6: the verdict-store outcome. Deliberately a single line (as is
+  // the metrics "cache" rollup below) so byte-comparisons between warm and
+  // cold runs can filter every cache-dependent field with one
+  // `grep -v '"cache":'` — no other report key contains that token
+  // ("image_cache" renders as `"image_cache":`, which does not match).
+  b.field("cache", quote(report.cache));
   b.field("verdict", quote(to_string(report.verdict)));
   b.field("reason", quote(report.reason));
   b.field("radius", std::to_string(report.radius));
@@ -174,6 +180,11 @@ std::string to_json(const PipelineReport& report,
   b.field("max_queue_depth", std::to_string(exec.max_queue_depth));
   b.field("help_runs", std::to_string(exec.help_runs));
   b.close('}');
+  // One line by construction (see the top-level "cache" field).
+  b.field("cache", "{ \"hits\": " + std::to_string(report.cache_hits) +
+                       ", \"misses\": " + std::to_string(report.cache_misses) +
+                       ", \"store_bytes\": " +
+                       std::to_string(report.cache_store_bytes) + " }");
   b.close('}');
 
   b.open("engines", '[');

@@ -2,8 +2,16 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/5"
-// and consumers should dispatch on it. Version 5 added the per-engine
+//   "schema": "trichroma.pipeline-report/6"
+// and consumers should dispatch on it. Version 6 added the verdict-store
+// surface: a top-level "cache": "off" | "hit" | "miss" marker and a
+// "cache" rollup inside "metrics" ({ "hits", "misses", "store_bytes" }).
+// Both render on single lines containing the token `"cache":` — and no
+// other key produces that token — so warm-vs-cold byte comparisons can
+// strip every cache-dependent field with `grep -v '"cache":'`. A cache-hit
+// report is byte-identical to the cold run it replays apart from those
+// lines (wall clocks are zero in the record; redact_timings zeroes them in
+// cold runs). Version 5 added the per-engine
 // "domain_overflow" array (probe rungs whose CSP exceeded the 64-value
 // word-parallel domain width — a representation limit distinct from a
 // budget cap) and the executor's "help_runs" counter (tasks drained inline
@@ -20,11 +28,12 @@
 // indistinguishable from a lane that never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/5",
+//     "schema": "trichroma.pipeline-report/6",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "reuse_subdivisions", "reuse_images" },
 //     "schedule": "exact" | "ladder" | "racing",
+//     "cache": "off" | "hit" | "miss",
 //     "verdict": "SOLVABLE" | "UNSOLVABLE" | "UNKNOWN",
 //     "reason": string,
 //     "radius": int,                  // -1 when no map search witness
@@ -39,10 +48,12 @@
 //       "image_cache": { "hits", "misses" },   // sums over engines
 //       "edge_masks": { "hits", "misses" },    // sums over engines
 //       "executor": { "jobs_run", "steals", "injections",
-//                     "max_queue_depth", "help_runs" }
+//                     "max_queue_depth", "help_runs" },
 //           // scheduling telemetry: nondeterministic, zeroed under
 //           // redact_timings (deltas over the run; max_queue_depth is the
 //           // pool's cumulative high-water mark)
+//       "cache": { "hits", "misses", "store_bytes" }
+//           // verdict-store rollup, rendered on one line (see above)
 //     },
 //     "engines": [ {
 //       "name", "side", "status", "precedence",

@@ -20,6 +20,17 @@
 // the reports with ReportJsonOptions::redact_timings therefore yields
 // byte-identical files no matter how the batch was scheduled; that is the
 // contract the batch determinism test and the CI smoke pin.
+//
+// Verdict store. With solve.cache_dir set, each pipeline consults the
+// content-addressed store (io/store.h) before running. Because engine node
+// counts are NOT invariant under chromatic isomorphism (exploration order
+// follows pool interning order), two isomorphic catalog entries racing to
+// publish one store entry would make reports depend on scheduling. The
+// driver therefore runs a sequential fingerprint pre-pass and *dedups
+// within the batch*: a slot whose fingerprint matches an earlier slot never
+// runs — it replays that slot's finished report (renamed to its own task)
+// as a cache hit. The pre-pass order is catalog order, so which twin runs
+// cold is a pure function of the selection, at every `jobs` value.
 
 #include <string>
 #include <vector>
@@ -50,6 +61,10 @@ struct BatchResult {
   double wall_ms = 0.0;
   /// Number of tasks whose verdict stayed Unknown.
   int unknown = 0;
+  /// Verdict-store rollup (zero when solve.cache_dir is empty): hits counts
+  /// both store replays and intra-batch isomorphic-twin replays.
+  int cache_hits = 0;
+  int cache_misses = 0;
 };
 
 /// 0 → hardware concurrency, else the request unchanged.

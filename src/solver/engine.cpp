@@ -297,6 +297,7 @@ void ProbeEngine::execute(const EngineBudget& budget,
             ? ladder.share(r)
             : std::make_shared<const SubdividedComplex>(
                   chromatic_subdivision(*task_.pool, task_.input, r));
+    computed_levels_.push_back(domain);
     last_ = find_decision_map(*task_.pool, *domain, task_, options);
     report.radius_reached = r;
     report.nodes_explored += last_.nodes_explored;

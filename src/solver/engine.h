@@ -287,6 +287,14 @@ class ProbeEngine final : public AnalysisEngine {
   /// The final find_decision_map result (the found one, or the last rung's).
   const MapSearchResult& last() const { return last_; }
 
+  /// Ch^0..Ch^r domains the probe actually climbed (one per rung reached),
+  /// shared with the probe's ladder. The verdict store serializes these as
+  /// the "ladder.levels" artifact after a conclusive cold run.
+  const std::vector<std::shared_ptr<const SubdividedComplex>>&
+  computed_levels() const {
+    return computed_levels_;
+  }
+
  protected:
   void execute(const EngineBudget& budget, const CancellationToken& token,
                EngineReport& report) override;
@@ -297,6 +305,7 @@ class ProbeEngine final : public AnalysisEngine {
   bool found_ = false;
   int found_radius_ = -1;
   std::shared_ptr<const SubdividedComplex> witness_domain_;
+  std::vector<std::shared_ptr<const SubdividedComplex>> computed_levels_;
   MapSearchResult last_;
 };
 

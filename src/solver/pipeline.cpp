@@ -1,11 +1,14 @@
 #include "solver/pipeline.h"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "io/store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/executor.h"
+#include "tasks/fingerprint.h"
 
 namespace trichroma {
 
@@ -220,6 +223,79 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   const int threads_resolved = resolve_search_threads(options.threads);
   const EngineBudget budget = budget_from(options);
 
+  // Resolve the lane schedule up front: it is part of the verdict-store key
+  // ("ladder" and "racing" reports differ in engine statuses by contract,
+  // so they must never alias one cache entry).
+  const bool characterize_route =
+      options.use_characterization && task.num_processes == 3;
+  const bool generic_route = task.num_processes > 3;
+  const bool race = task.num_processes != 2 && threads_resolved >= 2 &&
+                    options.schedule == PipelineSchedule::kAuto &&
+                    (characterize_route || generic_route);
+  const std::string schedule_str =
+      task.num_processes == 2 ? "exact" : (race ? "racing" : "ladder");
+
+  // Verdict-store consult. Fingerprinting failure (or any store anomaly)
+  // degrades to cache-off — the cache is an accelerator, never a gate.
+  bool cache_enabled = !options.cache_dir.empty();
+  TaskFingerprint fp;
+  CanonicalLabeling labeling;
+  std::string opt_digest;
+  std::unique_ptr<io::VerdictStore> store;
+  if (cache_enabled) {
+    try {
+      FingerprintResult fr = fingerprint_task(task);
+      fp = fr.fingerprint;
+      labeling = std::move(fr.labeling);
+      opt_digest = io::options_digest(options, schedule_str);
+      store = std::make_unique<io::VerdictStore>(options.cache_dir);
+      report.cache = "miss";
+      if (store->load_verdict(fp, opt_digest, &report)) {
+        // Hit: the record carries the verdict-relevant slice; display
+        // metadata (name, shape) comes from the live task so isomorphic
+        // twins replaying one record keep their own identity.
+        report.task_name = task.name;
+        report.num_processes = task.num_processes;
+        report.input_facets = facet_count(task.input);
+        report.output_facets = facet_count(task.output);
+        report.cache = "hit";
+        report.cache_hits = 1;
+        obs::MetricsRegistry::global().counter("cache.hit").add();
+        report.total_wall_ms = ms_since(start);
+        return out;
+      }
+      report.cache_misses = 1;
+      obs::MetricsRegistry::global().counter("cache.miss").add();
+    } catch (...) {
+      cache_enabled = false;
+      store.reset();
+      report.cache = "off";
+      report.cache_misses = 0;
+    }
+  }
+
+  // Publishes a conclusive cold verdict plus reusable artifacts. Best
+  // effort: a failed write leaves the report's store_bytes at whatever
+  // landed. Only conclusive verdicts are stored — an Unknown is a budget
+  // statement, not a property of the task.
+  const auto publish = [&](const ProbeEngine* chromatic_probe) {
+    if (!cache_enabled || report.verdict == Verdict::Unknown) return;
+    store->store_verdict(fp, opt_digest, report);
+    if (chromatic_probe != nullptr &&
+        !chromatic_probe->computed_levels().empty()) {
+      store->store_artifact(
+          fp, "ladder.levels",
+          io::serialize_ladder_levels(task, labeling,
+                                      chromatic_probe->computed_levels()));
+    }
+    store->store_artifact(fp, "delta.images",
+                          io::serialize_delta_images(task, labeling));
+    report.cache_store_bytes = store->bytes_written();
+    obs::MetricsRegistry::global()
+        .counter("cache.store_bytes")
+        .add(store->bytes_written());
+  };
+
   // Counter deltas are this run's share of the shared pool's telemetry;
   // max_queue_depth is a high-water mark and stays cumulative.
   const auto sample_exec_stats = [&exec_before, &report] {
@@ -245,18 +321,13 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
       report.verdict = Verdict::Unknown;
       report.reason = r.detail;
     }
+    publish(nullptr);
     report.total_wall_ms = ms_since(start);
     sample_exec_stats();
     return out;
   }
 
-  const bool characterize_route =
-      options.use_characterization && task.num_processes == 3;
-  const bool generic_route = task.num_processes > 3;
-  const bool race = threads_resolved >= 2 &&
-                    options.schedule == PipelineSchedule::kAuto &&
-                    (characterize_route || generic_route);
-  report.schedule = race ? "racing" : "ladder";
+  report.schedule = schedule_str;
   obs::trace_instant("pipeline/schedule/", report.schedule.c_str());
 
   CancellationToken possibility_token;    // stops the chromatic probe
@@ -362,6 +433,7 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
     }
   }
 
+  publish(&chromatic);
   report.total_wall_ms = ms_since(start);
   sample_exec_stats();
   return out;

@@ -65,6 +65,13 @@ struct SolvabilityOptions {
   bool reuse_subdivisions = true;
   /// Share Δ-image complexes across radii and probe modes (DeltaImageCache).
   bool reuse_images = true;
+  /// Root directory of the content-addressed verdict store (io/store.h).
+  /// Empty = caching off. When set, the pipeline fingerprints the task,
+  /// consults the store before scheduling any engine, and publishes
+  /// conclusive verdicts (plus ladder/Δ-image artifacts) after cold runs.
+  /// NOT part of the cache key and never rendered into reports (store
+  /// locations are machine-specific; reports must compare across machines).
+  std::string cache_dir;
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
@@ -93,6 +100,15 @@ struct PipelineReport {
   /// "skipped" or "raced out".
   bool characterization_computed = false;
   double total_wall_ms = 0.0;
+  /// Verdict-store outcome: "off" (no cache_dir), "hit" (replayed from the
+  /// store — or from an isomorphic twin earlier in the same batch), "miss"
+  /// (cold run, store consulted). Reports render this and the cache metrics
+  /// on lines containing `"cache":` so byte-comparisons can filter them.
+  std::string cache = "off";
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Bytes published to the store by this run (record + artifacts).
+  std::uint64_t cache_store_bytes = 0;
   /// Shared-pool scheduling telemetry, as a delta over this run (global
   /// stats sampled at entry and exit). Nondeterministic — stealing depends
   /// on timing, and concurrent batch jobs' tickets land in the same delta —

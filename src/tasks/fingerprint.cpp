@@ -1,0 +1,676 @@
+#include "tasks/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <tuple>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trichroma {
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), self-contained — the repo has no crypto dependency,
+// and the store's integrity story wants a real collision-resistant digest,
+// not a mixing hash.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+void sha256_block(std::uint32_t state[8], const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size) {
+  std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t remaining = size;
+  while (remaining >= 64) {
+    sha256_block(state, bytes);
+    bytes += 64;
+    remaining -= 64;
+  }
+  // Final block(s): message || 0x80 || zero pad || 64-bit bit length.
+  std::uint8_t tail[128] = {0};
+  std::memcpy(tail, bytes, remaining);
+  tail[remaining] = 0x80;
+  const std::size_t tail_len = remaining + 1 + 8 <= 64 ? 64 : 128;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(size) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  sha256_block(state, tail);
+  if (tail_len == 128) sha256_block(state, tail + 64);
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+  return out;
+}
+
+std::string TaskFingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t b : bytes) {
+    out += digits[b >> 4];
+    out += digits[b & 0xf];
+  }
+  return out;
+}
+
+std::string TaskFingerprint::hex_prefix(std::size_t n) const {
+  std::string full = hex();
+  return full.substr(0, std::min(n, full.size()));
+}
+
+int CanonicalLabeling::index_of(VertexId v) const {
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (order[k] == v) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical labeling: refinement + individualization over the task structure.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The task flattened to local dense indices: everything the labeling looks
+/// at, and nothing pool-dependent beyond the (discarded) local index order.
+struct Structure {
+  int num_processes = 0;
+  std::vector<VertexId> verts;  // local index -> VertexId (sorted by raw id)
+  std::vector<Color> color;     // per local index
+  std::vector<std::uint8_t> in_input;
+  std::vector<std::uint8_t> in_output;
+  std::vector<std::vector<int>> ifacets;  // sorted local-index lists
+  std::vector<std::vector<int>> ofacets;
+  struct DeltaEntry {
+    std::vector<int> src;                  // sorted
+    std::vector<std::vector<int>> images;  // each sorted; list sorted
+  };
+  std::vector<DeltaEntry> deltas;
+  // Incidence lists per local vertex: indices into ifacets / ofacets /
+  // deltas (src side) / (delta idx, image idx) pairs for the image side.
+  std::vector<std::vector<int>> inc_ifacet;
+  std::vector<std::vector<int>> inc_ofacet;
+  std::vector<std::vector<int>> inc_delta_src;
+  std::vector<std::vector<std::pair<int, int>>> inc_delta_img;
+
+  int n() const { return static_cast<int>(verts.size()); }
+};
+
+std::vector<int> to_locals(const std::unordered_map<VertexId, int, VertexIdHash>& local,
+                           const Simplex& s) {
+  std::vector<int> out;
+  out.reserve(s.size());
+  for (VertexId v : s) out.push_back(local.at(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Structure build_structure(const Task& task) {
+  Structure st;
+  st.num_processes = task.num_processes;
+
+  std::unordered_map<VertexId, int, VertexIdHash> local;
+  std::vector<VertexId> all = task.input.vertex_ids();
+  for (VertexId v : task.output.vertex_ids()) all.push_back(v);
+  std::sort(all.begin(), all.end(),
+            [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  st.verts = std::move(all);
+  for (std::size_t i = 0; i < st.verts.size(); ++i) {
+    local.emplace(st.verts[i], static_cast<int>(i));
+  }
+  const int n = st.n();
+  st.color.resize(n);
+  st.in_input.assign(n, 0);
+  st.in_output.assign(n, 0);
+  for (int i = 0; i < n; ++i) st.color[i] = task.pool->color(st.verts[i]);
+  for (VertexId v : task.input.vertex_ids()) st.in_input[local.at(v)] = 1;
+  for (VertexId v : task.output.vertex_ids()) st.in_output[local.at(v)] = 1;
+
+  for (const Simplex& f : task.input.facets()) {
+    st.ifacets.push_back(to_locals(local, f));
+  }
+  for (const Simplex& f : task.output.facets()) {
+    st.ofacets.push_back(to_locals(local, f));
+  }
+  for (const Simplex& sigma : task.delta.domain()) {
+    Structure::DeltaEntry entry;
+    entry.src = to_locals(local, sigma);
+    for (const Simplex& tau : task.delta.facet_images(sigma)) {
+      entry.images.push_back(to_locals(local, tau));
+    }
+    std::sort(entry.images.begin(), entry.images.end());
+    st.deltas.push_back(std::move(entry));
+  }
+
+  st.inc_ifacet.resize(n);
+  st.inc_ofacet.resize(n);
+  st.inc_delta_src.resize(n);
+  st.inc_delta_img.resize(n);
+  for (std::size_t f = 0; f < st.ifacets.size(); ++f) {
+    for (int v : st.ifacets[f]) st.inc_ifacet[v].push_back(static_cast<int>(f));
+  }
+  for (std::size_t f = 0; f < st.ofacets.size(); ++f) {
+    for (int v : st.ofacets[f]) st.inc_ofacet[v].push_back(static_cast<int>(f));
+  }
+  for (std::size_t d = 0; d < st.deltas.size(); ++d) {
+    for (int v : st.deltas[d].src) {
+      st.inc_delta_src[v].push_back(static_cast<int>(d));
+    }
+    for (std::size_t t = 0; t < st.deltas[d].images.size(); ++t) {
+      for (int v : st.deltas[d].images[t]) {
+        st.inc_delta_img[v].emplace_back(static_cast<int>(d),
+                                         static_cast<int>(t));
+      }
+    }
+  }
+  return st;
+}
+
+void append_int(std::string& out, long long v) {
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof(buf), "%lld", v);
+  out.append(buf, static_cast<std::size_t>(len));
+}
+
+/// Order-sensitive 64-bit mixer (splitmix-style, pure uint64 arithmetic, so
+/// the value is identical on every platform). Used to combine a tag with a
+/// value, or a pair of values, where order matters.
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t x) {
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ull;
+  h ^= x;
+  return h * 0x100000001b3ull + 0x2545f4914f6cdd1dull;
+}
+
+/// Strong stateless finalizer (splitmix64). Multiset folds sum mix64() of
+/// each element: commutative, so no sorting is needed to make the fold
+/// order-independent, and the heavy mixing keeps sums of distinct multisets
+/// from colliding by accident.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The partition search state: an ordered list of cells over local indices.
+/// Cell order is itself an invariant (initial cells sorted by (color, I, O)
+/// membership, fragments ordered by signature), so cell ids can appear
+/// inside signatures without breaking isomorphism invariance.
+struct Partition {
+  std::vector<std::vector<int>> cells;
+  std::vector<int> cell_of;
+
+  bool discrete() const {
+    for (const auto& c : cells) {
+      if (c.size() > 1) return false;
+    }
+    return true;
+  }
+  void reindex() {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      for (int v : cells[c]) cell_of[v] = static_cast<int>(c);
+    }
+  }
+};
+
+/// One refinement pass to fixpoint. Signatures are 64-bit hashes of
+/// invariant data (cell ids of incident facets and Δ rows): every input to
+/// the hash is itself invariant under chromatic isomorphism, so isomorphic
+/// tasks refine — and order fragments — identically. Multisets (cell ids
+/// within a facet, images within a Δ row, incidence tokens at a vertex)
+/// fold commutatively — a sum of mix64() values — so nothing is sorted in
+/// the hot loop; on subdivided loop-agreement tasks the Δ-image token sorts
+/// were most of the per-round cost. A hash collision can only MERGE two
+/// distinguishable fragments, never order them wrongly; the merged cell is
+/// separated later by individualization, and the canonical form is still
+/// the minimum over full `encode()` strings at the leaves — so a collision
+/// costs search nodes, not correctness. (The original implementation kept
+/// full signature strings; rendering every Δ row per round made
+/// large-output tasks ~500× slower for no extra safety.)
+void refine(const Structure& st, Partition& p, std::size_t* rounds) {
+  const int n = st.n();
+  std::vector<std::uint64_t> ifacet_hash(st.ifacets.size());
+  std::vector<std::uint64_t> ofacet_hash(st.ofacets.size());
+  std::vector<std::uint64_t> delta_hash(st.deltas.size());
+  std::vector<std::vector<std::uint64_t>> image_hash(st.deltas.size());
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(n));
+  const auto hash_cells = [&p](const std::vector<int>& locals,
+                               std::uint64_t tag) {
+    std::uint64_t h = mix64(hash_mix(tag, locals.size()));
+    for (int v : locals) {
+      h += mix64(hash_mix(tag, static_cast<std::uint64_t>(
+                                   p.cell_of[static_cast<std::size_t>(v)])));
+    }
+    return h;
+  };
+  for (;;) {
+    if (rounds != nullptr) ++*rounds;
+    // Per-round hashes of the shared objects, at current granularity.
+    for (std::size_t f = 0; f < st.ifacets.size(); ++f) {
+      ifacet_hash[f] = hash_cells(st.ifacets[f], 'I');
+    }
+    for (std::size_t f = 0; f < st.ofacets.size(); ++f) {
+      ofacet_hash[f] = hash_cells(st.ofacets[f], 'O');
+    }
+    for (std::size_t d = 0; d < st.deltas.size(); ++d) {
+      image_hash[d].clear();
+      std::uint64_t h = mix64(hash_cells(st.deltas[d].src, 'D'));
+      for (const auto& img : st.deltas[d].images) {
+        const std::uint64_t ih = hash_cells(img, 'M');
+        image_hash[d].push_back(ih);
+        h += mix64(ih);
+      }
+      delta_hash[d] = h;
+    }
+    for (int v = 0; v < n; ++v) {
+      std::uint64_t s = mix64(hash_mix(
+          'V', static_cast<std::uint64_t>(p.cell_of[static_cast<std::size_t>(v)])));
+      for (int f : st.inc_ifacet[v]) {
+        s += mix64(hash_mix('I', ifacet_hash[static_cast<std::size_t>(f)]));
+      }
+      for (int f : st.inc_ofacet[v]) {
+        s += mix64(hash_mix('O', ofacet_hash[static_cast<std::size_t>(f)]));
+      }
+      for (int d : st.inc_delta_src[v]) {
+        s += mix64(hash_mix('S', delta_hash[static_cast<std::size_t>(d)]));
+      }
+      for (const auto& [d, t] : st.inc_delta_img[v]) {
+        s += mix64(
+            hash_mix(hash_mix('T', delta_hash[static_cast<std::size_t>(d)]),
+                     image_hash[static_cast<std::size_t>(d)]
+                               [static_cast<std::size_t>(t)]));
+      }
+      sig[static_cast<std::size_t>(v)] = s;
+    }
+    // Split every cell by signature; fragments ordered by signature value.
+    std::vector<std::vector<int>> next;
+    bool split = false;
+    for (const auto& cell : p.cells) {
+      if (cell.size() == 1) {
+        next.push_back(cell);
+        continue;
+      }
+      std::vector<int> members = cell;
+      std::sort(members.begin(), members.end(), [&sig](int a, int b) {
+        return sig[static_cast<std::size_t>(a)] < sig[static_cast<std::size_t>(b)];
+      });
+      std::vector<int> frag;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!frag.empty() && sig[static_cast<std::size_t>(members[i])] !=
+                                 sig[static_cast<std::size_t>(frag.front())]) {
+          next.push_back(frag);
+          frag.clear();
+          split = true;
+        }
+        frag.push_back(members[i]);
+      }
+      if (!frag.empty()) {
+        if (frag.size() != cell.size()) split = true;
+        next.push_back(frag);
+      }
+    }
+    p.cells = std::move(next);
+    p.reindex();
+    if (!split) return;
+  }
+}
+
+/// Serializes the whole structure under a complete labeling. `pos[v]` is the
+/// canonical index of local vertex v. Lexicographically minimal encoding
+/// wins; the format is versioned through kFingerprintDomain.
+std::string encode(const Structure& st, const std::vector<int>& pos) {
+  std::string out = "n=";
+  append_int(out, st.num_processes);
+  out += ";v=";
+  append_int(out, st.n());
+  out += "\nV:";
+  // Vertex attributes in canonical order.
+  std::vector<int> inv(pos.size());
+  for (std::size_t v = 0; v < pos.size(); ++v) {
+    inv[static_cast<std::size_t>(pos[v])] = static_cast<int>(v);
+  }
+  for (std::size_t k = 0; k < inv.size(); ++k) {
+    const int v = inv[k];
+    if (k > 0) out += ',';
+    append_int(out, st.color[static_cast<std::size_t>(v)]);
+    if (st.in_input[static_cast<std::size_t>(v)]) out += 'i';
+    if (st.in_output[static_cast<std::size_t>(v)]) out += 'o';
+  }
+  auto mapped = [&pos](const std::vector<int>& locals) {
+    std::vector<int> out_idx;
+    out_idx.reserve(locals.size());
+    for (int v : locals) out_idx.push_back(pos[static_cast<std::size_t>(v)]);
+    std::sort(out_idx.begin(), out_idx.end());
+    return out_idx;
+  };
+  auto render_list = [](std::string& dst, const std::vector<int>& idx) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (i > 0) dst += ',';
+      append_int(dst, idx[i]);
+    }
+  };
+  auto emit_facets = [&](const char* tag,
+                         const std::vector<std::vector<int>>& facets) {
+    std::vector<std::vector<int>> rows;
+    rows.reserve(facets.size());
+    for (const auto& f : facets) rows.push_back(mapped(f));
+    std::sort(rows.begin(), rows.end());
+    out += '\n';
+    out += tag;
+    out += ':';
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out += '|';
+      render_list(out, rows[i]);
+    }
+  };
+  emit_facets("I", st.ifacets);
+  emit_facets("O", st.ofacets);
+  // Δ entries sorted by mapped source simplex (sources are unique).
+  std::vector<std::pair<std::vector<int>, std::vector<std::vector<int>>>> rows;
+  rows.reserve(st.deltas.size());
+  for (const auto& d : st.deltas) {
+    std::vector<std::vector<int>> images;
+    images.reserve(d.images.size());
+    for (const auto& img : d.images) images.push_back(mapped(img));
+    std::sort(images.begin(), images.end());
+    rows.emplace_back(mapped(d.src), std::move(images));
+  }
+  std::sort(rows.begin(), rows.end());
+  out += "\nD:";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out += ';';
+    render_list(out, rows[i].first);
+    out += '>';
+    for (std::size_t t = 0; t < rows[i].second.size(); ++t) {
+      if (t > 0) out += '|';
+      render_list(out, rows[i].second[t]);
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+struct SearchState {
+  const Structure* st = nullptr;
+  std::string best_encoding;
+  std::vector<int> best_pos;
+  bool have_best = false;
+  FingerprintStats stats;
+  /// Automorphism generators discovered so far, as local-index permutations.
+  /// Whenever a leaf's encoding ties the current best, the permutation
+  /// mapping the best labeling onto the tied one preserves every relation
+  /// the encoding serializes — i.e. it is an automorphism of the task.
+  std::vector<std::vector<int>> automorphisms;
+  /// Vertices individualized along the current search path (root first).
+  std::vector<int> path;
+  std::vector<int> uf;  // union-find scratch for orbit pruning
+};
+
+constexpr std::size_t kLeafBudget = 1'000'000;
+
+/// True when some already-explored sibling `u` in `tried` lies in the same
+/// orbit as `v` under the subgroup generated by discovered automorphisms
+/// that fix the current search path pointwise. Such a γ maps the v-subtree's
+/// labelings bijectively onto the u-subtree's with identical encodings, so
+/// exploring v cannot improve the minimum. This is what caps high-symmetry
+/// tasks (renaming on 5 names has a 120-element automorphism group) at a
+/// handful of leaves instead of one leaf per group element.
+bool orbit_pruned(SearchState& state, const std::vector<int>& tried, int v) {
+  if (state.automorphisms.empty() || tried.empty()) return false;
+  const int n = state.st->n();
+  state.uf.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) state.uf[static_cast<std::size_t>(i)] = i;
+  const auto find = [&state](int x) {
+    std::vector<int>& uf = state.uf;
+    while (uf[static_cast<std::size_t>(x)] != x) {
+      uf[static_cast<std::size_t>(x)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+      x = uf[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  bool any = false;
+  for (const std::vector<int>& g : state.automorphisms) {
+    bool fixes_path = true;
+    for (int pv : state.path) {
+      if (g[static_cast<std::size_t>(pv)] != pv) {
+        fixes_path = false;
+        break;
+      }
+    }
+    if (!fixes_path) continue;
+    any = true;
+    for (int x = 0; x < n; ++x) {
+      const int a = find(x);
+      const int b = find(g[static_cast<std::size_t>(x)]);
+      if (a != b) state.uf[static_cast<std::size_t>(a)] = b;
+    }
+  }
+  if (!any) return false;
+  const int root = find(v);
+  for (int u : tried) {
+    if (find(u) == root) return true;
+  }
+  return false;
+}
+
+void search(SearchState& state, Partition p) {
+  refine(*state.st, p, &state.stats.refinement_rounds);
+  // First non-singleton cell (the target-cell choice is an invariant of the
+  // partition, so isomorphic tasks branch the same way).
+  int target = -1;
+  for (std::size_t c = 0; c < p.cells.size(); ++c) {
+    if (p.cells[c].size() > 1) {
+      target = static_cast<int>(c);
+      break;
+    }
+  }
+  if (target < 0) {
+    // Discrete partition: a complete labeling.
+    if (++state.stats.leaves > kLeafBudget) {
+      throw std::runtime_error(
+          "fingerprint: canonical-labeling search budget exceeded (task "
+          "automorphism group too large)");
+    }
+    std::vector<int> pos(p.cell_of);
+    std::string enc = encode(*state.st, pos);
+    if (!state.have_best || enc < state.best_encoding) {
+      state.best_encoding = std::move(enc);
+      state.best_pos = std::move(pos);
+      state.have_best = true;
+    } else if (enc == state.best_encoding) {
+      // Tied leaf: harvest the automorphism mapping the best labeling onto
+      // this one (γ sends best's vertex at canonical slot k to ours).
+      const std::size_t n = pos.size();
+      std::vector<int> inv_cur(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        inv_cur[static_cast<std::size_t>(pos[v])] = static_cast<int>(v);
+      }
+      std::vector<int> gamma(n);
+      bool identity = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        gamma[v] = inv_cur[static_cast<std::size_t>(state.best_pos[v])];
+        if (gamma[v] != static_cast<int>(v)) identity = false;
+      }
+      if (!identity) {
+        state.automorphisms.push_back(std::move(gamma));
+        ++state.stats.automorphism_generators;
+      }
+    }
+    return;
+  }
+  // Individualize each member of the target cell in turn: {v} becomes its
+  // own cell immediately before the remainder.
+  const std::vector<int> members = p.cells[static_cast<std::size_t>(target)];
+  std::vector<int> tried;
+  tried.reserve(members.size());
+  for (int v : members) {
+    // Re-test per member: generators discovered inside earlier siblings'
+    // subtrees prune later siblings in this very loop.
+    if (orbit_pruned(state, tried, v)) {
+      ++state.stats.orbit_prunes;
+      continue;
+    }
+    tried.push_back(v);
+    ++state.stats.backtrack_nodes;
+    Partition child;
+    child.cell_of.assign(p.cell_of.size(), 0);
+    child.cells.reserve(p.cells.size() + 1);
+    for (std::size_t c = 0; c < p.cells.size(); ++c) {
+      if (static_cast<int>(c) != target) {
+        child.cells.push_back(p.cells[c]);
+        continue;
+      }
+      child.cells.push_back({v});
+      std::vector<int> rest;
+      rest.reserve(members.size() - 1);
+      for (int u : members) {
+        if (u != v) rest.push_back(u);
+      }
+      child.cells.push_back(std::move(rest));
+    }
+    child.reindex();
+    state.path.push_back(v);
+    search(state, std::move(child));
+    state.path.pop_back();
+  }
+}
+
+}  // namespace
+
+FingerprintResult fingerprint_task(const Task& task) {
+  TRI_SPAN("tasks/fingerprint");
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("fingerprint.runs");
+  runs.add();
+
+  const Structure st = build_structure(task);
+  SearchState state;
+  state.st = &st;
+  state.stats.vertices = static_cast<std::size_t>(st.n());
+
+  // Initial partition: cells keyed by (color, in I, in O), sorted by key —
+  // colors are fixed points of chromatic isomorphism, so they may seed the
+  // order directly.
+  std::vector<int> locals(static_cast<std::size_t>(st.n()));
+  for (int i = 0; i < st.n(); ++i) locals[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(locals.begin(), locals.end(), [&st](int a, int b) {
+    const auto key = [&st](int v) {
+      return std::make_tuple(st.color[static_cast<std::size_t>(v)],
+                             st.in_input[static_cast<std::size_t>(v)],
+                             st.in_output[static_cast<std::size_t>(v)]);
+    };
+    return key(a) < key(b);
+  });
+  Partition p;
+  p.cell_of.assign(static_cast<std::size_t>(st.n()), 0);
+  for (int v : locals) {
+    const auto key = [&st](int u) {
+      return std::make_tuple(st.color[static_cast<std::size_t>(u)],
+                             st.in_input[static_cast<std::size_t>(u)],
+                             st.in_output[static_cast<std::size_t>(u)]);
+    };
+    if (p.cells.empty() || key(p.cells.back().front()) != key(v)) {
+      p.cells.push_back({});
+    }
+    p.cells.back().push_back(v);
+  }
+  p.reindex();
+
+  search(state, std::move(p));
+
+  FingerprintResult out;
+  out.stats = state.stats;
+  out.labeling.encoding = std::move(state.best_encoding);
+  out.labeling.order.resize(state.best_pos.size());
+  for (std::size_t v = 0; v < state.best_pos.size(); ++v) {
+    out.labeling.order[static_cast<std::size_t>(state.best_pos[v])] =
+        st.verts[v];
+  }
+  std::string preimage = kFingerprintDomain;
+  preimage += '\n';
+  preimage += out.labeling.encoding;
+  out.fingerprint.bytes = sha256(preimage.data(), preimage.size());
+  return out;
+}
+
+TaskFingerprint fingerprint_of(const Task& task) {
+  return fingerprint_task(task).fingerprint;
+}
+
+}  // namespace trichroma

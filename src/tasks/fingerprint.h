@@ -1,0 +1,125 @@
+#pragma once
+// Canonical task fingerprints: a color-respecting canonical labeling of a
+// Task (I, O, Δ) and a stable 256-bit content hash of the labeled structure.
+//
+// Two tasks receive the same fingerprint iff they are *chromatically
+// isomorphic*: there is a bijection of their vertices that preserves colors,
+// maps input complex onto input complex and output complex onto output
+// complex, and commutes with Δ. The paper's solvability characterization is
+// invariant under exactly this relation, which makes the fingerprint the
+// theoretically correct key for the content-addressed verdict store
+// (io/store.h): isomorphic submissions from different users collapse onto
+// one cache entry. Vertex *values* and the task *name* are deliberately not
+// part of the invariant — only colors and incidence structure are.
+//
+// NOTE this is a different notion from tasks/canonical.h: `canonicalize`
+// builds the paper's T* construction (Section 3, a new task whose outputs
+// carry their inputs), while this module picks a canonical *ordering of the
+// vertices of the task itself*. The two never interact.
+//
+// Algorithm: iterated partition refinement with backtracking over vertex
+// orderings. Colors (and input/output membership) seed the initial
+// partition and are never permuted; refinement splits cells by invariant
+// signatures built from facet and Δ incidence; remaining ties are broken by
+// individualizing each vertex of the first non-singleton cell in turn and
+// keeping the labeling whose serialized encoding is lexicographically
+// minimal. Tasks in this codebase are small (tens to a few hundred
+// vertices), and refinement collapses all but genuine automorphisms, so the
+// backtracking tree stays tiny (it is bounded below by the automorphism
+// group, e.g. 3 leaves for the pinwheel's rotational symmetry).
+//
+// The hash is SHA-256 over a versioned domain string plus the canonical
+// encoding; bump kFingerprintDomain whenever the encoding changes so stale
+// store entries miss instead of aliasing.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace trichroma {
+
+/// Versioned hash-domain prefix; part of every fingerprint preimage.
+inline constexpr char kFingerprintDomain[] = "trichroma.task-fingerprint/1";
+
+/// A 256-bit task fingerprint (SHA-256 digest, big-endian byte order).
+struct TaskFingerprint {
+  std::array<std::uint8_t, 32> bytes{};
+
+  /// 64 lowercase hex characters.
+  std::string hex() const;
+  /// The first `n` hex characters (store shard prefix).
+  std::string hex_prefix(std::size_t n = 2) const;
+
+  bool operator==(const TaskFingerprint&) const = default;
+  bool operator<(const TaskFingerprint& other) const {
+    return bytes < other.bytes;
+  }
+};
+
+struct TaskFingerprintHash {
+  std::size_t operator()(const TaskFingerprint& fp) const noexcept {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      h = (h << 8) | fp.bytes[i];
+    }
+    return h;
+  }
+};
+
+/// The canonical labeling underlying a fingerprint. `order[k]` is the task
+/// vertex assigned canonical index k; the index space is shared by every
+/// chromatically isomorphic task, which is what lets store artifacts
+/// (io/store.h) serialized against one task be reloaded against another.
+struct CanonicalLabeling {
+  /// Task vertices (input ∪ output) in canonical order.
+  std::vector<VertexId> order;
+  /// The canonical byte encoding of the task structure — the fingerprint's
+  /// hash preimage (minus the domain prefix). Identical across isomorphic
+  /// tasks.
+  std::string encoding;
+
+  /// Canonical index of `v`; -1 when `v` is not a task vertex.
+  int index_of(VertexId v) const;
+};
+
+/// Cost/shape telemetry of one canonical-labeling run (CLI `fingerprint`
+/// and the cache bench surface these).
+struct FingerprintStats {
+  std::size_t vertices = 0;
+  std::size_t refinement_rounds = 0;
+  /// Individualization branches explored (0 when refinement alone
+  /// discretized the partition).
+  std::size_t backtrack_nodes = 0;
+  /// Complete labelings compared at the leaves (>= 1). Automorphism orbit
+  /// pruning keeps this near the number of genuinely distinct labelings
+  /// rather than one leaf per automorphism-group element.
+  std::size_t leaves = 0;
+  /// Non-identity automorphism generators harvested from tied leaves.
+  std::size_t automorphism_generators = 0;
+  /// Branches skipped because a sibling in the same automorphism orbit was
+  /// already explored.
+  std::size_t orbit_prunes = 0;
+};
+
+struct FingerprintResult {
+  TaskFingerprint fingerprint;
+  CanonicalLabeling labeling;
+  FingerprintStats stats;
+};
+
+/// Canonically labels `task` and hashes the encoding. Deterministic, and
+/// invariant under chromatic isomorphism (vertex relabelings that preserve
+/// colors) and under the insertion order of simplices and Δ entries.
+FingerprintResult fingerprint_task(const Task& task);
+
+/// Convenience: just the fingerprint.
+TaskFingerprint fingerprint_of(const Task& task);
+
+/// SHA-256 of `data` (exposed for the store's integrity checks and tests).
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size);
+
+}  // namespace trichroma

@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 #include <random>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "tasks/task.h"
@@ -217,6 +219,36 @@ struct RandomTaskParams {
 /// random facet images over a small output universe, and Δ extended to faces
 /// by downward closure (restriction), which always yields a carrier map.
 Task random_task(const RandomTaskParams& params);
+
+/// A deduplicated stream over `random_task`: `next()` advances the seed and
+/// skips any draw whose canonical fingerprint (tasks/fingerprint.h) was
+/// already emitted, so fuzzing sweeps measure *distinct-task* coverage
+/// rather than raw draw counts. Every skip bumps the
+/// "tasks.random.dedup_skips" counter. Small-parameter streams eventually
+/// exhaust their task family; after `max_attempts` consecutive duplicates
+/// next() returns the last duplicate rather than spinning forever (the
+/// skip counter still records the attempts). A draw whose fingerprint
+/// computation fails (leaf budget) is conservatively treated as fresh.
+class RandomTaskStream {
+ public:
+  explicit RandomTaskStream(RandomTaskParams params, int max_attempts = 64);
+
+  /// The next not-yet-seen task (see the class comment for the exhaustion
+  /// cap). The returned task's seed is recoverable from its name.
+  Task next();
+
+  /// Distinct fingerprints emitted so far.
+  std::size_t emitted() const { return seen_.size(); }
+  /// Duplicate draws skipped so far (this stream's share of the global
+  /// "tasks.random.dedup_skips" counter).
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  RandomTaskParams params_;
+  int max_attempts_;
+  std::unordered_set<std::string> seen_;
+  std::size_t skipped_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Catalog

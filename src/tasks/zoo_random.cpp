@@ -15,8 +15,11 @@
 
 #include <array>
 #include <random>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "tasks/builder.h"
+#include "tasks/fingerprint.h"
 #include "tasks/zoo.h"
 
 namespace trichroma {
@@ -184,6 +187,28 @@ Task random_task(const RandomTaskParams& params) {
   relaxed.restricted_faces = false;
   Task task = attempt(relaxed, 0);
   return task;
+}
+
+RandomTaskStream::RandomTaskStream(RandomTaskParams params, int max_attempts)
+    : params_(std::move(params)), max_attempts_(std::max(1, max_attempts)) {}
+
+Task RandomTaskStream::next() {
+  static obs::Counter& dedup_skips =
+      obs::MetricsRegistry::global().counter("tasks.random.dedup_skips");
+  for (int attempt = 0;; ++attempt) {
+    Task task = random_task(params_);
+    ++params_.seed;
+    std::string fp;
+    try {
+      fp = fingerprint_of(task).hex();
+    } catch (...) {
+      // Leaf budget exceeded: can't dedup this draw, emit it as-is.
+      return task;
+    }
+    if (seen_.insert(fp).second || attempt + 1 >= max_attempts_) return task;
+    ++skipped_;
+    dedup_skips.add();
+  }
 }
 
 }  // namespace zoo

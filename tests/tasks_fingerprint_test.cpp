@@ -1,0 +1,218 @@
+// Tests for the canonical chromatic-isomorphism fingerprint
+// (tasks/fingerprint.h): invariance under color-respecting relabelings and
+// insertion-order permutations, catalog separation, and the deduplicated
+// random-task stream built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tasks/fingerprint.h"
+#include "tasks/zoo.h"
+
+namespace trichroma {
+namespace {
+
+// Color-respecting relabeling into a fresh pool: shuffled vertex order,
+// scrambled integer values, and shuffled insertion order for facets, Δ
+// domain simplices and Δ images. Chromatically isomorphic to `task` by
+// construction.
+Task relabel(const Task& task, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Task out;
+  out.pool = std::make_shared<VertexPool>();
+  out.name = task.name + "-relabeled";
+  out.num_processes = task.num_processes;
+  std::vector<VertexId> verts = task.input.vertex_ids();
+  for (VertexId v : task.output.vertex_ids()) verts.push_back(v);
+  std::sort(verts.begin(), verts.end(),
+            [](VertexId a, VertexId b) { return raw(a) < raw(b); });
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  std::shuffle(verts.begin(), verts.end(), rng);
+  std::map<VertexId, VertexId> m;
+  std::int64_t next = 1000 + static_cast<std::int64_t>(rng() % 100000);
+  for (VertexId v : verts) {
+    m[v] = out.pool->vertex(task.pool->color(v), next++);
+  }
+  const auto ms = [&m](const Simplex& s) {
+    std::vector<VertexId> vs;
+    for (VertexId v : s) vs.push_back(m.at(v));
+    return Simplex(std::move(vs));
+  };
+  std::vector<Simplex> ifacets = task.input.facets();
+  std::vector<Simplex> ofacets = task.output.facets();
+  std::shuffle(ifacets.begin(), ifacets.end(), rng);
+  std::shuffle(ofacets.begin(), ofacets.end(), rng);
+  for (const Simplex& f : ifacets) out.input.add(ms(f));
+  for (const Simplex& f : ofacets) out.output.add(ms(f));
+  std::vector<Simplex> domain = task.delta.domain();
+  std::shuffle(domain.begin(), domain.end(), rng);
+  for (const Simplex& sigma : domain) {
+    std::vector<Simplex> images;
+    for (const Simplex& tau : task.delta.facet_images(sigma)) {
+      images.push_back(ms(tau));
+    }
+    std::shuffle(images.begin(), images.end(), rng);
+    for (const Simplex& tau : images) out.delta.add(ms(sigma), tau);
+  }
+  return out;
+}
+
+// Identity on vertices (shared pool), but every container re-populated in a
+// shuffled insertion order: isolates I/O-order invariance from relabeling.
+Task reinsert(const Task& task, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Task out;
+  out.pool = task.pool;
+  out.name = task.name;
+  out.num_processes = task.num_processes;
+  std::vector<Simplex> ifacets = task.input.facets();
+  std::vector<Simplex> ofacets = task.output.facets();
+  std::shuffle(ifacets.begin(), ifacets.end(), rng);
+  std::shuffle(ofacets.begin(), ofacets.end(), rng);
+  for (const Simplex& f : ifacets) out.input.add(f);
+  for (const Simplex& f : ofacets) out.output.add(f);
+  std::vector<Simplex> domain = task.delta.domain();
+  std::shuffle(domain.begin(), domain.end(), rng);
+  for (const Simplex& sigma : domain) {
+    std::vector<Simplex> images = task.delta.facet_images(sigma);
+    std::shuffle(images.begin(), images.end(), rng);
+    for (const Simplex& tau : images) out.delta.add(sigma, tau);
+  }
+  return out;
+}
+
+TEST(Fingerprint, DeterministicAcrossCalls) {
+  const Task task = zoo::hourglass();
+  EXPECT_EQ(fingerprint_of(task).hex(), fingerprint_of(task).hex());
+}
+
+TEST(Fingerprint, Sha256KnownVectors) {
+  // FIPS 180-4 test vectors.
+  const auto hex = [](const std::array<std::uint8_t, 32>& digest) {
+    TaskFingerprint fp;
+    fp.bytes = digest;
+    return fp.hex();
+  };
+  EXPECT_EQ(
+      hex(sha256("", 0)),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      hex(sha256("abc", 3)),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Fingerprint, LabelingIsAPermutationWithInverse) {
+  const Task task = zoo::pinwheel();
+  const FingerprintResult r = fingerprint_task(task);
+  EXPECT_EQ(r.labeling.order.size(), r.stats.vertices);
+  std::set<VertexId> distinct(r.labeling.order.begin(),
+                              r.labeling.order.end());
+  EXPECT_EQ(distinct.size(), r.labeling.order.size());
+  for (std::size_t i = 0; i < r.labeling.order.size(); ++i) {
+    EXPECT_EQ(r.labeling.index_of(r.labeling.order[i]),
+              static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+// The core property: every catalog task keeps its fingerprint under random
+// chromatic isomorphisms (fresh pool, scrambled values, shuffled insertion)
+// and under pure insertion-order permutations.
+TEST(Fingerprint, CatalogInvariantUnderChromaticIsomorphism) {
+  for (const zoo::CatalogEntry& entry : zoo::catalog()) {
+    const Task task = entry.build();
+    const std::string base = fingerprint_of(task).hex();
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      EXPECT_EQ(fingerprint_of(relabel(task, seed * 77 + 5)).hex(), base)
+          << entry.name << " relabel seed " << seed;
+      EXPECT_EQ(fingerprint_of(reinsert(task, seed * 131 + 17)).hex(), base)
+          << entry.name << " reinsert seed " << seed;
+    }
+  }
+}
+
+// The catalog separates into exactly 20 fingerprint classes: `identity` and
+// `subdivision0` (the radius-0 subdivision task IS the identity task up to
+// chromatic isomorphism) collide by design, and nothing else does. The
+// fingerprint ignores task names and concrete values, so this is the right
+// answer, not a weakness — the batch driver's dedup pre-pass depends on it.
+TEST(Fingerprint, CatalogCollapsesExactlyTheIsomorphicPair) {
+  std::map<std::string, std::vector<std::string>> classes;
+  for (const zoo::CatalogEntry& entry : zoo::catalog()) {
+    classes[fingerprint_of(entry.build()).hex()].push_back(entry.name);
+  }
+  EXPECT_EQ(classes.size(), zoo::catalog().size() - 1);
+  for (const auto& [hex, names] : classes) {
+    if (names.size() == 1) continue;
+    EXPECT_EQ(names, (std::vector<std::string>{"identity", "subdivision0"}))
+        << "unexpected fingerprint collision on " << hex;
+  }
+}
+
+TEST(Fingerprint, DistinguishesNearMisses) {
+  // Same shape family, different Δ: the hollow and filled loop tasks.
+  EXPECT_NE(fingerprint_of(zoo::loop_agreement_hollow_triangle()).hex(),
+            fingerprint_of(zoo::loop_agreement_filled_triangle()).hex());
+  // Consensus for 3 vs the 2-process variant.
+  EXPECT_NE(fingerprint_of(zoo::consensus(3)).hex(),
+            fingerprint_of(zoo::consensus_2()).hex());
+}
+
+TEST(Fingerprint, StatsPopulated) {
+  const FingerprintResult r = fingerprint_task(zoo::hourglass());
+  EXPECT_GT(r.stats.vertices, 0u);
+  EXPECT_GE(r.stats.leaves, 1u);
+  EXPECT_GT(r.stats.refinement_rounds, 0u);
+}
+
+// renaming5 is vertex-transitive enough to have many automorphisms; the
+// search must still come back with one canonical answer.
+TEST(Fingerprint, HighAutomorphismTaskIsStable) {
+  const Task task = zoo::renaming(5);
+  const std::string base = fingerprint_of(task).hex();
+  EXPECT_EQ(fingerprint_of(relabel(task, 4242)).hex(), base);
+}
+
+TEST(RandomTaskStream, SkipsDuplicateFingerprints) {
+  // A one-value universe admits essentially one task per input shape: the
+  // stream must detect the repeats, bump the metric, and still terminate
+  // via the attempt cap.
+  obs::Counter& skips =
+      obs::MetricsRegistry::global().counter("tasks.random.dedup_skips");
+  const std::uint64_t before = skips.value();
+  zoo::RandomTaskParams params;
+  params.num_input_facets = 1;
+  params.output_values_per_color = 1;
+  params.seed = 7;
+  zoo::RandomTaskStream stream(params, /*max_attempts=*/4);
+  const Task first = stream.next();
+  EXPECT_TRUE(first.validate().empty());
+  EXPECT_EQ(stream.emitted(), 1u);
+  EXPECT_EQ(stream.skipped(), 0u);
+  const Task second = stream.next();  // exhausts the family, returns a dup
+  EXPECT_TRUE(second.validate().empty());
+  EXPECT_EQ(stream.emitted(), 1u);
+  EXPECT_GE(stream.skipped(), 3u);  // max_attempts - 1 consecutive dups
+  EXPECT_GE(skips.value() - before, stream.skipped());
+}
+
+TEST(RandomTaskStream, EmitsDistinctTasksAcrossSeeds) {
+  zoo::RandomTaskParams params;
+  params.seed = 11;
+  zoo::RandomTaskStream stream(params);
+  std::set<std::string> seen;
+  for (int i = 0; i < 5; ++i) {
+    seen.insert(fingerprint_of(stream.next()).hex());
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(stream.emitted(), 5u);
+}
+
+}  // namespace
+}  // namespace trichroma

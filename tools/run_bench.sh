@@ -9,6 +9,7 @@
 #   engine     bench_engine_perf  -> BENCH_engine.json     (default)
 #   substrate  bench_substrate    -> BENCH_substrate.json
 #   batch      bench_batch        -> BENCH_batch.json
+#   cache      bench_cache        -> BENCH_cache.json
 #   obs        bench_obs          -> BENCH_obs.json
 #   scaling    bench_scaling      -> BENCH_scaling.json
 #
@@ -35,7 +36,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 suite="engine"
 case "${1:-}" in
-  engine|substrate|batch|obs|scaling)
+  engine|substrate|batch|cache|obs|scaling)
     suite="$1"
     shift
     ;;
@@ -47,6 +48,7 @@ case "$suite" in
   engine) target="bench_engine_perf" ;;
   substrate) target="bench_substrate" ;;
   batch) target="bench_batch" ;;
+  cache) target="bench_cache" ;;
   obs) target="bench_obs" ;;
   scaling) target="bench_scaling" ;;
 esac

@@ -4,6 +4,7 @@
 //   trichroma check <file>          parse and validate a task description
 //   trichroma decide <file>         run the full solvability pipeline
 //   trichroma batch                 run the pipeline on the whole zoo
+//   trichroma fingerprint <file>    canonical chromatic-isomorphism fingerprint
 //   trichroma split <file>          canonicalize + split; print T' and report
 //   trichroma dot <file> in|out     GraphViz rendering of a complex
 //   trichroma run <file> [seed]     synthesize a protocol and execute it
@@ -12,6 +13,12 @@
 //
 // The text format is documented in src/io/task_format.h; `demo` is the
 // quickest way to get a template to edit.
+//
+// `decide --cache-dir DIR` (also honored by `batch`) consults and feeds a
+// content-addressed verdict store keyed by the task's canonical fingerprint
+// (io/store.h): a warm run replays the stored verdict instead of running
+// the engines. `synth` never uses the store — the witness map is not part
+// of a verdict record, so a hit would have nothing to synthesize from.
 //
 // `decide --trace out.json` records a Chrome trace-event timeline of the
 // run (spans from the executor, map searches, pipeline lanes and topology
@@ -38,6 +45,7 @@
 #include "protocols/verify.h"
 #include "solver/batch.h"
 #include "solver/solvability.h"
+#include "tasks/fingerprint.h"
 #include "tasks/zoo.h"
 
 using namespace trichroma;
@@ -69,6 +77,7 @@ int usage() {
                "  check <file>       parse + validate\n"
                "  decide <file>      solvability verdict (Theorem 5.1)\n"
                "  batch              decide every zoo task concurrently\n"
+               "  fingerprint <file> print the task's canonical fingerprint\n"
                "  split <file>       canonicalize + split; print T'\n"
                "  synth <file>       print the synthesized protocol's decision table\n"
                "  dot <file> in|out  GraphViz for the input/output complex\n"
@@ -82,6 +91,10 @@ int usage() {
                "  --jobs N           (batch) concurrent whole-task pipelines\n"
                "                     (default: 1; 0 = hardware concurrency)\n"
                "  --tasks a,b,...    (batch) restrict to these catalog tasks\n"
+               "  --cache-dir DIR    (decide/batch) content-addressed verdict store:\n"
+               "                     replay stored verdicts for tasks already decided\n"
+               "                     (keyed by canonical fingerprint + budget; synth\n"
+               "                     ignores it — witnesses are not stored)\n"
                "  --report FILE      (decide/synth) write the JSON pipeline report\n"
                "  --report-dir DIR   (batch) write one JSON report per task\n"
                "                     (timings redacted: files are byte-identical\n"
@@ -174,6 +187,9 @@ int cmd_decide(const Task& task, const CliOptions& cli) {
   std::printf("%s", task.summary().c_str());
   std::printf("verdict: %s\n", to_string(r.verdict));
   std::printf("reason:  %s\n", r.reason.c_str());
+  if (!cli.solve.cache_dir.empty() && r.report != nullptr) {
+    std::printf("cache:   %s\n", r.report->cache.c_str());
+  }
   maybe_write_report(r, cli);
   if (r.characterization != nullptr) {
     // The characterization lane runs on a clone of the task, so the report
@@ -206,8 +222,13 @@ int cmd_batch(const CliOptions& cli) {
     std::printf("metrics: %s/metrics.json\n", cli.trace_dir.c_str());
   }
 
-  std::printf("batch: %zu tasks, %d jobs, %.1f ms\n\n", result.tasks.size(),
+  std::printf("batch: %zu tasks, %d jobs, %.1f ms\n", result.tasks.size(),
               resolve_batch_jobs(cli.jobs), result.wall_ms);
+  if (!cli.solve.cache_dir.empty()) {
+    std::printf("cache: %d hit(s), %d miss(es)\n", result.cache_hits,
+                result.cache_misses);
+  }
+  std::printf("\n");
   std::printf("%-24s %-12s %7s %6s %9s  %s\n", "task", "verdict", "radius",
               "viaT'", "ms", "reason");
   for (const BatchTaskResult& t : result.tasks) {
@@ -231,6 +252,20 @@ int cmd_batch(const CliOptions& cli) {
   return result.unknown == 0 ? 0 : 1;
 }
 
+int cmd_fingerprint(const Task& task) {
+  const FingerprintResult r = fingerprint_task(task);
+  std::printf("%s", task.summary().c_str());
+  std::printf("fingerprint: %s\n", r.fingerprint.hex().c_str());
+  std::printf("domain:      %s\n", kFingerprintDomain);
+  std::printf("vertices:    %zu\n", r.stats.vertices);
+  std::printf("refinement rounds: %zu\n", r.stats.refinement_rounds);
+  std::printf("backtrack nodes:   %zu\n", r.stats.backtrack_nodes);
+  std::printf("leaves:            %zu\n", r.stats.leaves);
+  std::printf("automorphism gens: %zu\n", r.stats.automorphism_generators);
+  std::printf("orbit prunes:      %zu\n", r.stats.orbit_prunes);
+  return 0;
+}
+
 int cmd_split(const Task& task) {
   const CharacterizationResult c = characterize(task);
   std::printf("%s\n", c.report(*task.pool).c_str());
@@ -248,9 +283,13 @@ int cmd_dot(const Task& task, const char* which) {
 
 int cmd_synth(const Task& task, const CliOptions& cli) {
   // Direct chromatic synthesis: find a decision map and print it as the
-  // wait-free protocol it encodes.
+  // wait-free protocol it encodes. The verdict store is bypassed: a store
+  // hit replays the verdict without the witness map, which would turn a
+  // solvable task into "nothing to synthesize".
   TraceSession trace(cli.trace_path);
-  const SolvabilityResult r = decide_solvability(task, cli.solve);
+  SolvabilityOptions solve = cli.solve;
+  solve.cache_dir.clear();
+  const SolvabilityResult r = decide_solvability(task, solve);
   maybe_write_report(r, cli);
   if (r.verdict != Verdict::Solvable || !r.has_chromatic_witness) {
     std::printf("verdict: %s — nothing to synthesize\nreason: %s\n",
@@ -379,6 +418,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --tasks expects a comma-separated list\n");
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.solve.cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
       if (i + 1 >= argc) return usage();
       cli.report_path = argv[++i];
@@ -430,6 +472,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(task);
     if (command == "synth") return cmd_synth(task, cli);
     if (command == "decide") return cmd_decide(task, cli);
+    if (command == "fingerprint") return cmd_fingerprint(task);
     if (command == "split") return cmd_split(task);
     if (command == "dot") {
       if (argc != 4) return usage();
