@@ -9,10 +9,13 @@
 //      the full pipeline publishing into a fresh store each iteration.
 //   3. BM_DecideSolvableSubsetWarm — the same subset replayed from a
 //      primed store: fingerprint + record read, no engines.
+//   4. BM_DeepenSolvableSubset{Cold,Seeded} — the warm-start pair: deepen
+//      radius 1 -> 2 with no store state vs. against a store primed at
+//      radius 1 (sibling records + ladder/Δ-image artifacts).
 //
-// The committed BENCH_cache.json pins the warm/cold ratio the README
-// quotes; the CI release job gates cold-vs-warm regressions through
-// tools/bench_compare.py like every other suite.
+// The committed BENCH_cache.json pins the warm/cold and seeded/cold ratios
+// the README quotes; the CI release job gates cold-vs-warm regressions
+// through tools/bench_compare.py like every other suite.
 
 #include <benchmark/benchmark.h>
 
@@ -121,6 +124,60 @@ void BM_DecideSolvableSubsetWarm(benchmark::State& state) {
   state.counters["tasks"] = static_cast<double>(tasks.size());
 }
 BENCHMARK(BM_DecideSolvableSubsetWarm)->Unit(benchmark::kMillisecond);
+
+// The warm-start acceptance pair: deepen the solvable subset from radius 1
+// to radius 2. Cold deepen has no store state to resume from — every rung
+// of every ladder is rebuilt. Artifact-seeded deepen runs against a store
+// primed at radius 1, so each task either replays a budget sibling's
+// record (witness within the deeper budget) or seeds its ladder/Δ-image
+// artifacts and climbs only the missing rungs. Both force the kLadder
+// schedule: racing records are excluded from warm starts by contract, so
+// kAuto on a multi-core host would silently measure nothing.
+void BM_DeepenSolvableSubsetCold(benchmark::State& state) {
+  const std::vector<Task> tasks = build_subset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    SolvabilityOptions options;
+    options.schedule = PipelineSchedule::kLadder;
+    options.max_radius = 2;
+    options.cache_dir = fresh_store_dir();
+    state.ResumeTiming();
+    for (const Task& t : tasks) {
+      benchmark::DoNotOptimize(run_pipeline(t, options).report.verdict);
+    }
+    state.PauseTiming();
+    std::filesystem::remove_all(options.cache_dir);
+    state.ResumeTiming();
+  }
+  state.counters["tasks"] = static_cast<double>(tasks.size());
+}
+BENCHMARK(BM_DeepenSolvableSubsetCold)->Unit(benchmark::kMillisecond);
+
+void BM_DeepenSolvableSubsetSeeded(benchmark::State& state) {
+  const std::vector<Task> tasks = build_subset();
+  for (auto _ : state) {
+    // Re-prime every iteration: the timed deepen publishes records under
+    // the radius-2 digest, which would turn the next iteration into pure
+    // exact-key hits and measure replay, not resumption.
+    state.PauseTiming();
+    SolvabilityOptions prime;
+    prime.schedule = PipelineSchedule::kLadder;
+    prime.max_radius = 1;
+    prime.cache_dir = fresh_store_dir();
+    for (const Task& t : tasks) run_pipeline(t, prime);
+    SolvabilityOptions options = prime;
+    options.max_radius = 2;
+    state.ResumeTiming();
+    for (const Task& t : tasks) {
+      benchmark::DoNotOptimize(run_pipeline(t, options).report.verdict);
+    }
+    state.PauseTiming();
+    std::filesystem::remove_all(options.cache_dir);
+    state.ResumeTiming();
+  }
+  state.counters["tasks"] = static_cast<double>(tasks.size());
+}
+BENCHMARK(BM_DeepenSolvableSubsetSeeded)->Unit(benchmark::kMillisecond);
 
 // The reference row: the same subset with the store off, to separate the
 // cold run's store overhead (fingerprint + publish) from engine cost.

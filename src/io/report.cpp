@@ -98,7 +98,10 @@ void emit_engine(Builder& b, const EngineReport& e,
 
 }  // namespace
 
-const char* report_schema() { return "trichroma.pipeline-report/6"; }
+// v7: the "cache" field gained the "artifacts" value (warm start from a
+// stored sibling record or ladder/Δ-image artifacts) and the metrics cache
+// line gained "seeded_levels". The grep contract below is unchanged.
+const char* report_schema() { return "trichroma.pipeline-report/7"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -183,6 +186,8 @@ std::string to_json(const PipelineReport& report,
   // One line by construction (see the top-level "cache" field).
   b.field("cache", "{ \"hits\": " + std::to_string(report.cache_hits) +
                        ", \"misses\": " + std::to_string(report.cache_misses) +
+                       ", \"seeded_levels\": " +
+                       std::to_string(report.cache_seeded_levels) +
                        ", \"store_bytes\": " +
                        std::to_string(report.cache_store_bytes) + " }");
   b.close('}');

@@ -260,9 +260,16 @@ bool unwrap_record(const std::string& file_contents, const std::string& kind,
   return true;
 }
 
-std::string serialize_verdict_record(const PipelineReport& report) {
+std::string serialize_verdict_record(const PipelineReport& report,
+                                     const VerdictRecordBudget& budget) {
   std::string out;
   kv(out, "format", kVerdictRecordSchema);
+  kv_i(out, "budget.max_radius", budget.max_radius);
+  kv_u(out, "budget.node_cap", budget.node_cap);
+  kv(out, "budget.use_characterization",
+     budget.use_characterization ? "1" : "0");
+  kv(out, "budget.reuse_subdivisions", budget.reuse_subdivisions ? "1" : "0");
+  kv(out, "budget.reuse_images", budget.reuse_images ? "1" : "0");
   kv(out, "task_name", report.task_name);
   kv_i(out, "num_processes", report.num_processes);
   kv_u(out, "input_facets", report.input_facets);
@@ -304,10 +311,18 @@ std::string serialize_verdict_record(const PipelineReport& report) {
   return out;
 }
 
-bool parse_verdict_record(const std::string& body, PipelineReport* report) {
+bool parse_verdict_record(const std::string& body, PipelineReport* report,
+                          VerdictRecordBudget* budget) {
   RecordReader r(body);
   if (!r.ok) return false;
   if (r.str("format") != kVerdictRecordSchema) return false;
+
+  VerdictRecordBudget b;
+  b.max_radius = static_cast<int>(r.i64("budget.max_radius"));
+  b.node_cap = r.u64("budget.node_cap");
+  b.use_characterization = r.boolean("budget.use_characterization");
+  b.reuse_subdivisions = r.boolean("budget.reuse_subdivisions");
+  b.reuse_images = r.boolean("budget.reuse_images");
 
   PipelineReport out;  // build fully before committing anything
   out.task_name = r.str("task_name");
@@ -372,6 +387,7 @@ bool parse_verdict_record(const std::string& body, PipelineReport* report) {
   report->total_wall_ms = 0.0;
   report->executor_stats = ExecutorStats{};
   report->engines = std::move(out.engines);
+  if (budget != nullptr) *budget = b;
   return true;
 }
 
@@ -414,7 +430,7 @@ bool VerdictStore::write_file(const std::string& dir,
       fs::remove(tmp, ec);
       return false;
     }
-    bytes_written_ += contents.size();
+    bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
     return true;
   } catch (...) {
     return false;
@@ -453,10 +469,47 @@ bool VerdictStore::load_verdict(const TaskFingerprint& fp,
 
 bool VerdictStore::store_verdict(const TaskFingerprint& fp,
                                  const std::string& opt_digest,
-                                 const PipelineReport& report) const {
+                                 const PipelineReport& report,
+                                 const VerdictRecordBudget& budget) const {
   const std::string wrapped =
-      wrap_record("verdict", serialize_verdict_record(report));
+      wrap_record("verdict", serialize_verdict_record(report, budget));
   return write_file(entry_dir(fp), "verdict-" + opt_digest + ".rec", wrapped);
+}
+
+std::vector<SiblingVerdict> VerdictStore::scan_siblings(
+    const TaskFingerprint& fp) const {
+  std::vector<SiblingVerdict> out;
+  try {
+    const fs::path dir = entry_dir(fp);
+    std::vector<std::string> names;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      // "verdict-" + 16 hex digest chars + ".rec"
+      if (name.size() == 8 + 16 + 4 && name.rfind("verdict-", 0) == 0 &&
+          name.compare(name.size() - 4, 4, ".rec") == 0) {
+        names.push_back(name);
+      }
+    }
+    // Digest order: the scan result (and hence warm-start selection) must
+    // not depend on directory iteration order.
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      std::string raw, body;
+      if (!read_file((dir / name).string(), &raw)) continue;
+      if (!unwrap_record(raw, "verdict", &body)) continue;
+      SiblingVerdict sibling;
+      sibling.opt_digest = name.substr(8, 16);
+      if (!parse_verdict_record(body, &sibling.report, &sibling.budget)) {
+        continue;
+      }
+      out.push_back(std::move(sibling));
+    }
+  } catch (...) {
+    // best-effort: whatever parsed so far
+  }
+  return out;
 }
 
 bool VerdictStore::store_artifact(const TaskFingerprint& fp,
@@ -471,6 +524,112 @@ bool VerdictStore::load_artifact(const TaskFingerprint& fp,
   std::string raw;
   if (!read_file(entry_dir(fp) + "/" + name + ".art", &raw)) return false;
   return unwrap_record(raw, name, body);
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Entry directories are exactly two levels below the root: <shard>/<fp>.
+template <typename Fn>
+void for_each_entry_dir(const std::string& root, Fn&& fn) {
+  std::error_code ec;
+  fs::directory_iterator shards(root, ec), end;
+  for (; !ec && shards != end; shards.increment(ec)) {
+    if (!shards->is_directory()) continue;
+    std::error_code ec2;
+    fs::directory_iterator entries(shards->path(), ec2), end2;
+    for (; !ec2 && entries != end2; entries.increment(ec2)) {
+      if (entries->is_directory()) fn(entries->path());
+    }
+  }
+}
+
+}  // namespace
+
+VerdictStore::Stats VerdictStore::stats() const {
+  Stats out;
+  try {
+    for_each_entry_dir(root_, [&out](const fs::path& entry) {
+      ++out.entries;
+      std::error_code ec;
+      fs::directory_iterator files(entry, ec), end;
+      for (; !ec && files != end; files.increment(ec)) {
+        if (!files->is_regular_file()) continue;
+        std::error_code size_ec;
+        const std::uint64_t bytes = files->file_size(size_ec);
+        if (size_ec) continue;
+        const std::string name = files->path().filename().string();
+        if (name.rfind("verdict-", 0) == 0 && ends_with(name, ".rec")) {
+          ++out.verdict_records;
+          out.verdict_bytes += bytes;
+        } else if (ends_with(name, ".art")) {
+          ++out.artifact_files;
+          out.artifact_bytes += bytes;
+        } else {
+          ++out.other_files;
+          out.other_bytes += bytes;
+        }
+      }
+    });
+  } catch (...) {
+    // best-effort
+  }
+  return out;
+}
+
+VerdictStore::PruneResult VerdictStore::prune(std::uint64_t max_bytes) const {
+  PruneResult out;
+  try {
+    struct Entry {
+      fs::file_time_type newest;  // most recent write anywhere in the entry
+      std::string path;
+      std::uint64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    for_each_entry_dir(root_, [&entries, &total](const fs::path& dir) {
+      Entry e;
+      e.path = dir.string();
+      e.newest = fs::file_time_type::min();
+      std::error_code ec;
+      fs::directory_iterator files(dir, ec), end;
+      for (; !ec && files != end; files.increment(ec)) {
+        if (!files->is_regular_file()) continue;
+        std::error_code fec;
+        const std::uint64_t bytes = files->file_size(fec);
+        if (!fec) e.bytes += bytes;
+        const fs::file_time_type t = files->last_write_time(fec);
+        if (!fec && t > e.newest) e.newest = t;
+      }
+      total += e.bytes;
+      entries.push_back(std::move(e));
+    });
+    // Oldest entries first; path as the deterministic tiebreak. Whole-entry
+    // eviction keeps each surviving verdict next to its artifacts.
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+      return std::tie(a.newest, a.path) < std::tie(b.newest, b.path);
+    });
+    for (const Entry& e : entries) {
+      if (total <= max_bytes) break;
+      std::error_code ec;
+      fs::remove_all(e.path, ec);
+      if (ec) continue;
+      // Drop the now-empty shard directory if this was its last entry.
+      fs::remove(fs::path(e.path).parent_path(), ec);
+      total -= e.bytes;
+      ++out.evicted_entries;
+      out.evicted_bytes += e.bytes;
+    }
+    out.remaining_bytes = total;
+  } catch (...) {
+    // best-effort
+  }
+  return out;
 }
 
 // --- artifact codecs ------------------------------------------------------
@@ -546,7 +705,7 @@ std::string serialize_ladder_levels(
     base_ord.emplace(base[i], static_cast<int>(i));
   }
 
-  std::string out = "ladder-levels/1\n";
+  std::string out = "ladder-levels/2\n";
   out += "levels=" + std::to_string(levels.size()) + "\n";
   out += "base=" + std::to_string(base.size()) + "\n";
 
@@ -585,10 +744,13 @@ std::string serialize_ladder_levels(
       std::sort(row.carrier.begin(), row.carrier.end());
       rows.push_back(std::move(row));
     }
-    // Canonical vertex order at this level: (color, view). The pair is
-    // unique per vertex (vertices are interned by exactly it).
+    // Format v2: rows in the writer's intern order (ascending vertex id).
+    // Loading re-interns row by row, so a same-task load reproduces the
+    // cold build's pool ids exactly — the warm-start determinism contract.
+    // The order is still content-determined for any reader: cold towers
+    // intern in the canonical stamp order of subdivide_once.
     std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-      return std::tie(a.color, a.view) < std::tie(b.color, b.view);
+      return raw(a.id) < raw(b.id);
     });
     std::unordered_map<VertexId, int, VertexIdHash> this_ord;
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -622,9 +784,21 @@ std::string serialize_ladder_levels(
   return out;
 }
 
+std::size_t ladder_levels_count(const std::string& body) {
+  const std::size_t nl1 = body.find('\n');
+  if (nl1 == std::string::npos) return 0;
+  if (body.substr(0, nl1) != "ladder-levels/2") return 0;
+  std::size_t num_levels = 0;
+  if (std::sscanf(body.c_str() + nl1 + 1, "levels=%zu", &num_levels) != 1) {
+    return 0;
+  }
+  return num_levels;
+}
+
 bool load_ladder_levels(const Task& task, const CanonicalLabeling& labeling,
                         const std::string& body,
-                        std::vector<SubdividedComplex>* out) {
+                        std::vector<SubdividedComplex>* out,
+                        std::size_t max_levels) {
   try {
     const std::vector<std::string> lines = split_lines(body);
     std::size_t at = 0;
@@ -632,7 +806,7 @@ bool load_ladder_levels(const Task& task, const CanonicalLabeling& labeling,
       return at < lines.size() ? &lines[at++] : nullptr;
     };
     const std::string* line = next();
-    if (line == nullptr || *line != "ladder-levels/1") return false;
+    if (line == nullptr || *line != "ladder-levels/2") return false;
     line = next();
     std::size_t num_levels = 0;
     if (line == nullptr ||
@@ -649,6 +823,8 @@ bool load_ladder_levels(const Task& task, const CanonicalLabeling& labeling,
       return false;
     }
     if (num_levels == 0 || num_levels > 16) return false;
+    const std::size_t use_levels = std::min(num_levels, max_levels);
+    if (use_levels == 0) return false;
 
     out->clear();
     out->push_back(identity_subdivision(task.input));
@@ -656,7 +832,7 @@ bool load_ladder_levels(const Task& task, const CanonicalLabeling& labeling,
     const ValueId view_tag = values.of_string("view");
     std::vector<VertexId> prev_ids = base;
 
-    for (std::size_t r = 1; r < num_levels; ++r) {
+    for (std::size_t r = 1; r < use_levels; ++r) {
       line = next();
       std::size_t level_no = 0, verts = 0;
       if (line == nullptr || std::sscanf(line->c_str(), "level=%zu verts=%zu",
@@ -733,6 +909,7 @@ bool load_ladder_levels(const Task& task, const CanonicalLabeling& labeling,
       out->push_back(std::move(level));
       prev_ids = std::move(ids);
     }
+    if (use_levels < num_levels) return true;  // deeper tail left unread
     return at == lines.size() ||
            (at == lines.size() - 1 && lines.back().empty());
   } catch (...) {

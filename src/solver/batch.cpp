@@ -139,6 +139,7 @@ BatchResult run_batch(const BatchOptions& options) {
     replay.cache = "hit";
     replay.cache_hits = 1;
     replay.cache_misses = 0;
+    replay.cache_seeded_levels = 0;
     replay.cache_store_bytes = 0;
     replay.total_wall_ms = 0.0;
     out.tasks[i].name = selected[i]->name;
@@ -150,6 +151,7 @@ BatchResult run_batch(const BatchOptions& options) {
     out.unknown += t.report.verdict == Verdict::Unknown ? 1 : 0;
     out.cache_hits += t.report.cache_hits > 0 ? 1 : 0;
     out.cache_misses += t.report.cache_misses > 0 ? 1 : 0;
+    out.cache_artifacts += t.report.cache == "artifacts" ? 1 : 0;
   }
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)

@@ -62,9 +62,12 @@ struct BatchResult {
   /// Number of tasks whose verdict stayed Unknown.
   int unknown = 0;
   /// Verdict-store rollup (zero when solve.cache_dir is empty): hits counts
-  /// both store replays and intra-batch isomorphic-twin replays.
+  /// both store replays and intra-batch isomorphic-twin replays. A task
+  /// that warm-started from a budget sibling's record or artifacts counts
+  /// in BOTH cache_misses (its exact key missed) and cache_artifacts.
   int cache_hits = 0;
   int cache_misses = 0;
+  int cache_artifacts = 0;
 };
 
 /// 0 → hardware concurrency, else the request unchanged.

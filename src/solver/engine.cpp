@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "io/store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "topology/subdivision.h"
@@ -284,6 +285,36 @@ void ProbeEngine::execute(const EngineBudget& budget,
   DeltaImageCache images;
   if (budget.reuse_images) options.image_cache = &images;
   SubdivisionLadder ladder(*task_.pool, task_.input);
+
+  // Warm start: materialize stored artifacts under this task's identity
+  // before the first rung. The ladder loader re-interns subdivision
+  // vertices in the writer's (= a cold build's) order, so probing resumes
+  // from exactly the pool state a cold climb would have reached; any
+  // malformed body degrades to a cold rebuild. The tower is truncated to
+  // the live radius budget — deeper levels would intern vertices a cold
+  // run never creates. Preloaded Δ-images charge their first touch as a
+  // miss (DeltaImageCache::preload), keeping every counter as-if-cold.
+  seeded_levels_ = 0;
+  seeded_images_ = 0;
+  if (seed_ != nullptr && kind_ == ProbeKind::DirectChromatic) {
+    if (budget.reuse_subdivisions && !seed_->ladder_body.empty()) {
+      std::vector<SubdividedComplex> levels;
+      if (io::load_ladder_levels(
+              task_, seed_->labeling, seed_->ladder_body, &levels,
+              static_cast<std::size_t>(budget.max_radius) + 1)) {
+        seeded_levels_ = static_cast<int>(levels.size());
+        ladder.seed(std::move(levels));
+      }
+    }
+    if (budget.reuse_images && !seed_->images_body.empty()) {
+      std::vector<std::pair<Simplex, std::vector<Simplex>>> rows;
+      if (io::load_delta_images(task_, seed_->labeling, seed_->images_body,
+                                &rows)) {
+        for (const auto& [src, facets] : rows) images.preload(src, facets);
+        seeded_images_ = static_cast<int>(rows.size());
+      }
+    }
+  }
 
   report.status = EngineStatus::Inconclusive;
   for (int r = 0; r <= budget.max_radius; ++r) {

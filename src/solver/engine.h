@@ -24,6 +24,7 @@
 #include "core/obstructions.h"
 #include "runtime/cancellation.h"
 #include "solver/map_search.h"
+#include "tasks/fingerprint.h"
 #include "tasks/task.h"
 
 namespace trichroma {
@@ -268,6 +269,18 @@ enum class ProbeKind {
 /// DeltaImageCache across rungs (both optional via the budget's reuse
 /// flags). Interns subdivision vertices into the task's pool, so a lane
 /// must own that pool exclusively while the probe runs.
+/// Warm-start seed for a chromatic probe: serialized store artifacts from a
+/// stored twin of the task (io/store.h), plus the LIVE task's canonical
+/// labeling to translate them into its display identity. The engine
+/// materializes the seed inside `execute` — after any pipeline-level task
+/// cloning, so the pool reaches exactly the state a cold run would — and
+/// silently falls back to a cold build on any malformed body.
+struct ProbeSeed {
+  std::string ladder_body;   ///< serialized ladder levels ("" = none)
+  std::string images_body;   ///< serialized Δ-image rows ("" = none)
+  CanonicalLabeling labeling;  ///< the live task's canonical labeling
+};
+
 class ProbeEngine final : public AnalysisEngine {
  public:
   ProbeEngine(const Task& task, ProbeKind kind) : task_(task), kind_(kind) {}
@@ -295,6 +308,20 @@ class ProbeEngine final : public AnalysisEngine {
     return computed_levels_;
   }
 
+  /// Hands the probe a warm-start seed (DirectChromatic only; others
+  /// ignore it). Must be set before `run`.
+  void set_seed(std::shared_ptr<const ProbeSeed> seed) {
+    seed_ = std::move(seed);
+  }
+
+  /// Ladder levels materialized from the seed (counting Ch^0); 0 when no
+  /// seed was given, it failed to parse, or the probe never ran. Feeds the
+  /// report's cache metrics only — never the deterministic report slice.
+  int seeded_levels() const { return seeded_levels_; }
+
+  /// Δ-image rows preloaded from the seed (same caveats).
+  int seeded_images() const { return seeded_images_; }
+
  protected:
   void execute(const EngineBudget& budget, const CancellationToken& token,
                EngineReport& report) override;
@@ -306,6 +333,9 @@ class ProbeEngine final : public AnalysisEngine {
   int found_radius_ = -1;
   std::shared_ptr<const SubdividedComplex> witness_domain_;
   std::vector<std::shared_ptr<const SubdividedComplex>> computed_levels_;
+  std::shared_ptr<const ProbeSeed> seed_;
+  int seeded_levels_ = 0;
+  int seeded_images_ = 0;
   MapSearchResult last_;
 };
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <memory_resource>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tasks/task.h"
@@ -67,9 +68,22 @@ class DeltaImageCache {
 
   const CompiledComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
 
+  /// Inserts a pre-compiled image for `carrier` built from its facet list
+  /// (a stored `delta.images` artifact row, io/store.h). The entry is
+  /// marked *warm*: its first `image_of` lookup still counts as a miss, so
+  /// hit/miss counters — which feed deterministic reports — match a cold
+  /// run's exactly. No-op if the carrier is already cached. The facets must
+  /// be exactly `delta.facet_images(carrier)` for the cache's carrier map;
+  /// `image_complex` is their closure, so the compiled snapshots are
+  /// content-identical.
+  void preload(const Simplex& carrier, const std::vector<Simplex>& facets);
+
+  /// Warm entries not yet touched by `image_of` (0 after any full search).
+  std::size_t warm_remaining() const { return warm_.size(); }
+
   std::size_t size() const { return cache_.size(); }
   std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return cache_.size(); }
+  std::size_t misses() const { return misses_; }
 
   /// Identity of one compiled edge constraint (see class comment). Colors
   /// are the endpoints' colors in chromatic mode, kNoColor otherwise.
@@ -145,12 +159,15 @@ class DeltaImageCache {
 
   std::unordered_map<Simplex, std::shared_ptr<const CompiledComplex>, SimplexHash>
       cache_;
+  /// Preloaded entries whose first lookup is still owed a miss count.
+  std::unordered_set<Simplex, SimplexHash> warm_;
   std::unordered_map<EdgeClass, EdgeMasks, EdgeClassHash> masks_;
   std::unordered_map<TriClass, TriTables, TriClassHash> tris_;
   /// Backing store for all mask rows and completion tables; released with
   /// the cache, never per-row.
   std::pmr::monotonic_buffer_resource mask_arena_;
   std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
   mutable std::size_t mask_hits_ = 0;
   mutable std::size_t tri_hits_ = 0;
 };

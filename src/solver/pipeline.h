@@ -101,12 +101,19 @@ struct PipelineReport {
   bool characterization_computed = false;
   double total_wall_ms = 0.0;
   /// Verdict-store outcome: "off" (no cache_dir), "hit" (replayed from the
-  /// store — or from an isomorphic twin earlier in the same batch), "miss"
-  /// (cold run, store consulted). Reports render this and the cache metrics
-  /// on lines containing `"cache":` so byte-comparisons can filter them.
+  /// store — or from an isomorphic twin earlier in the same batch),
+  /// "artifacts" (warm-started on a budget-only miss: either a sibling
+  /// record replayed verbatim, or stored ladder/Δ-image artifacts seeded
+  /// the probe engines), "miss" (cold run, store consulted). Everything but
+  /// the cache markers is byte-identical between "artifacts" and a cold
+  /// run; reports render this and the cache metrics on lines containing
+  /// `"cache":` so byte-comparisons can filter them.
   std::string cache = "off";
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Ladder levels materialized from a stored artifact (counting Ch^0);
+  /// 0 on cold runs and record replays. Cache telemetry only.
+  int cache_seeded_levels = 0;
   /// Bytes published to the store by this run (record + artifacts).
   std::uint64_t cache_store_bytes = 0;
   /// Shared-pool scheduling telemetry, as a delta over this run (global

@@ -94,8 +94,13 @@ SubdividedComplex subdivide_once_reference(VertexPool& pool,
   // because subdivision vertices are interned by (color, view). Each facet
   // streams both into the mutable hash-set form and into the flat compiled
   // builder, so the snapshot costs one sort instead of a second traversal.
+  // Simplices are enumerated in canonical (sorted) order, not hash-set
+  // order: the intern sequence of the new level's vertices must be a
+  // function of `prev`'s *content* so that a level reconstructed from a
+  // stored artifact (io/store.h) extends to the identical pool state a
+  // cold build reaches.
   CompiledComplex::Builder builder;
-  prev.complex.for_each([&](const Simplex& sigma) {
+  for (const Simplex& sigma : prev.complex.all_simplices()) {
     for (const auto& partition : ordered_partitions(sigma.vertices())) {
       Simplex view;  // running union B1 ∪ ... ∪ Bj
       std::vector<VertexId> facet_vertices;
@@ -110,7 +115,7 @@ SubdividedComplex subdivide_once_reference(VertexPool& pool,
       builder.add(facet);
       out.complex.add(facet);
     }
-  });
+  }
   out.compiled = builder.finish();
 #ifndef NDEBUG
   out.compiled->debug_verify_against(out.complex);
@@ -228,7 +233,11 @@ SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev
   std::vector<VertexId> verts;     // uniq index → interned vertex, per σ
   std::vector<ValueId> members;
   std::array<ValueId, 8> pos_int;  // of_int(raw(σ[i])), per σ
-  prev.complex.for_each([&](const Simplex& sigma) {
+  // Canonical (sorted) enumeration, mirroring the reference: warm-started
+  // ladders (io/store.h) rebuild `prev` from content, so the stamp order —
+  // and with it every interned id of the next level — must not depend on
+  // the hash-set's insertion history.
+  for (const Simplex& sigma : prev.complex.all_simplices()) {
     const std::vector<VertexId>& sv = sigma.vertices();
     const std::size_t m = sv.size();
     const ChTemplate& tpl = ch_template(m);
@@ -265,7 +274,7 @@ SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev
       out.complex.add(facet);
     }
     stamps += tpl.num_facets;
-  });
+  }
   obs::MetricsRegistry::global().counter("ladder.template.stamps").add(stamps);
   out.compiled = builder.finish();
 #ifndef NDEBUG
@@ -281,6 +290,15 @@ SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComple
     cur = subdivide_once(pool, cur);
   }
   return cur;
+}
+
+void SubdivisionLadder::seed(std::vector<SubdividedComplex> levels) {
+  if (levels.empty()) return;
+  levels_.clear();
+  for (SubdividedComplex& level : levels) {
+    levels_.push_back(
+        std::make_shared<const SubdividedComplex>(std::move(level)));
+  }
 }
 
 std::shared_ptr<const SubdividedComplex> SubdivisionLadder::share(int r) {

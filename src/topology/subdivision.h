@@ -131,6 +131,15 @@ class SubdivisionLadder {
   /// handle does.
   std::shared_ptr<const SubdividedComplex> share(int r);
 
+  /// Replaces the memoized tower with externally materialized levels (warm
+  /// start from a stored artifact, io/store.h). `levels[r]` must be
+  /// Ch^r(base) with vertices already interned in `pool` in the same order
+  /// a cold build would intern them; `share` then extends from the deepest
+  /// seeded level and — because `subdivide_once` enumerates canonically —
+  /// reaches exactly the pool state and levels of a cold tower. No-op on an
+  /// empty vector.
+  void seed(std::vector<SubdividedComplex> levels);
+
   /// Highest radius memoized so far; -1 before the first `at` call.
   int max_computed() const { return static_cast<int>(levels_.size()) - 1; }
 

@@ -42,14 +42,14 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/6\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/7\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
-    // Schema v6: the verdict-store marker and rollup, each on one line so
+    // Schema v6/v7: the verdict-store marker and rollup, each on one line so
     // `grep -v '"cache":'` strips every cache-dependent field.
     EXPECT_NE(json.find("\"cache\": \"off\""), std::string::npos);
     EXPECT_NE(json.find("\"cache\": { \"hits\": 0, \"misses\": 0, "
-                        "\"store_bytes\": 0 }"),
+                        "\"seeded_levels\": 0, \"store_bytes\": 0 }"),
               std::string::npos);
     EXPECT_NE(json.find("\"engines\": ["), std::string::npos);
     EXPECT_NE(json.find("\"characterization\": "), std::string::npos);

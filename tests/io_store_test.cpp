@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -171,7 +172,7 @@ TEST(Store, VerdictRecordVersionMismatchIsAMiss) {
   const PipelineReport cold =
       run_pipeline(zoo::consensus_2(), SolvabilityOptions{}).report;
   std::string body = io::serialize_verdict_record(cold);
-  const auto pos = body.find("trichroma.verdict-record/1");
+  const auto pos = body.find("trichroma.verdict-record/2");
   ASSERT_NE(pos, std::string::npos);
   body.replace(pos, 26, "trichroma.verdict-record/9");
   PipelineReport parsed;
@@ -323,6 +324,165 @@ TEST(Store, LadderLevelsRejectMalformedBodies) {
   std::string body = io::serialize_ladder_levels(a, fa.labeling, levels);
   body.resize(body.size() * 2 / 3);  // mid-row truncation
   EXPECT_FALSE(io::load_ladder_levels(a, fa.labeling, body, &out));
+}
+
+TEST(Store, VerdictRecordBudgetRoundTrips) {
+  const PipelineReport cold =
+      run_pipeline(zoo::consensus_2(), SolvabilityOptions{}).report;
+  io::VerdictRecordBudget budget;
+  budget.max_radius = 5;
+  budget.node_cap = 123456;
+  budget.use_characterization = false;
+  budget.reuse_subdivisions = true;
+  budget.reuse_images = false;
+  const std::string body = io::serialize_verdict_record(cold, budget);
+  PipelineReport parsed;
+  io::VerdictRecordBudget out;
+  ASSERT_TRUE(io::parse_verdict_record(body, &parsed, &out));
+  EXPECT_EQ(out.max_radius, 5);
+  EXPECT_EQ(out.node_cap, 123456u);
+  EXPECT_FALSE(out.use_characterization);
+  EXPECT_TRUE(out.reuse_subdivisions);
+  EXPECT_FALSE(out.reuse_images);
+}
+
+TEST(Store, SiblingScanEnumeratesRecordsAcrossDigests) {
+  const Task task = zoo::consensus_2();
+  const TaskFingerprint fp = fingerprint_of(task);
+  const PipelineReport cold =
+      run_pipeline(task, SolvabilityOptions{}).report;
+  const io::VerdictStore store(fresh_dir("siblings"));
+  EXPECT_TRUE(store.scan_siblings(fp).empty());
+
+  io::VerdictRecordBudget shallow;
+  shallow.max_radius = 1;
+  io::VerdictRecordBudget deep;
+  deep.max_radius = 3;
+  ASSERT_TRUE(store.store_verdict(fp, "000000000000000a", cold, shallow));
+  ASSERT_TRUE(store.store_verdict(fp, "000000000000000b", cold, deep));
+
+  const std::vector<io::SiblingVerdict> siblings = store.scan_siblings(fp);
+  ASSERT_EQ(siblings.size(), 2u);
+  // Digest order: the scan is deterministic regardless of write order.
+  EXPECT_EQ(siblings[0].opt_digest, "000000000000000a");
+  EXPECT_EQ(siblings[0].budget.max_radius, 1);
+  EXPECT_EQ(siblings[1].opt_digest, "000000000000000b");
+  EXPECT_EQ(siblings[1].budget.max_radius, 3);
+  EXPECT_EQ(siblings[0].report.verdict, cold.verdict);
+
+  // A corrupted sibling is skipped, not fatal — the scan returns the rest.
+  const std::string rec_path = std::string(store.root()) + "/" +
+                               fp.hex().substr(0, 2) + "/" + fp.hex() +
+                               "/verdict-000000000000000a.rec";
+  std::ofstream(rec_path, std::ios::binary) << "torn write";
+  const std::vector<io::SiblingVerdict> after = store.scan_siblings(fp);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].opt_digest, "000000000000000b");
+}
+
+TEST(Store, LadderLevelsLoadTruncatesToRequestedDepth) {
+  const Task a = zoo::hourglass();
+  const FingerprintResult fa = fingerprint_task(a);
+  SubdivisionLadder ladder(*a.pool, a.input);
+  std::vector<std::shared_ptr<const SubdividedComplex>> levels;
+  for (int r = 0; r <= 2; ++r) levels.push_back(ladder.share(r));
+  const std::string body = io::serialize_ladder_levels(a, fa.labeling, levels);
+  ASSERT_EQ(io::ladder_levels_count(body), 3u);
+
+  // A fresh twin pool per load: truncated materialization must intern ONLY
+  // the vertices of the levels it returns (the warm-start precondition —
+  // deeper stored rows would pollute the pool with ids a cold run at the
+  // smaller radius never creates).
+  const Task b = relabel(a, 41);
+  const FingerprintResult fb = fingerprint_task(b);
+  std::vector<SubdividedComplex> truncated;
+  ASSERT_TRUE(io::load_ladder_levels(b, fb.labeling, body, &truncated, 2));
+  ASSERT_EQ(truncated.size(), 2u);
+
+  const Task c = relabel(a, 41);
+  const FingerprintResult fc = fingerprint_task(c);
+  std::vector<SubdividedComplex> full;
+  ASSERT_TRUE(io::load_ladder_levels(c, fc.labeling, body, &full));
+  ASSERT_EQ(full.size(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(truncated[r].complex.count(2), full[r].complex.count(2));
+  }
+  EXPECT_LT(b.pool->size(), c.pool->size());
+
+  // Zero levels is a refusal, not an empty success.
+  std::vector<SubdividedComplex> none;
+  EXPECT_FALSE(io::load_ladder_levels(b, fb.labeling, body, &none, 0));
+}
+
+TEST(Store, StatsClassifiesRecordsAndArtifacts) {
+  const Task task = zoo::consensus_2();
+  const TaskFingerprint fp = fingerprint_of(task);
+  const PipelineReport cold =
+      run_pipeline(task, SolvabilityOptions{}).report;
+  const io::VerdictStore store(fresh_dir("stats"));
+  const io::VerdictStore::Stats empty = store.stats();
+  EXPECT_EQ(empty.entries, 0u);
+  EXPECT_EQ(empty.total_bytes(), 0u);
+
+  ASSERT_TRUE(store.store_verdict(fp, "0000000000000001", cold));
+  ASSERT_TRUE(store.store_verdict(fp, "0000000000000002", cold));
+  ASSERT_TRUE(store.store_artifact(fp, "ladder.levels", "ladder-levels/2\n"));
+  const io::VerdictStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.verdict_records, 2u);
+  EXPECT_EQ(stats.artifact_files, 1u);
+  EXPECT_EQ(stats.other_files, 0u);
+  EXPECT_GT(stats.verdict_bytes, 0u);
+  EXPECT_GT(stats.artifact_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes(), stats.verdict_bytes + stats.artifact_bytes);
+}
+
+TEST(Store, PruneEvictsWholeEntriesOldestFirst) {
+  const Task old_task = zoo::consensus_2();
+  const Task new_task = zoo::hourglass();
+  const TaskFingerprint old_fp = fingerprint_of(old_task);
+  const TaskFingerprint new_fp = fingerprint_of(new_task);
+  const PipelineReport old_report =
+      run_pipeline(old_task, SolvabilityOptions{}).report;
+  const PipelineReport new_report =
+      run_pipeline(new_task, SolvabilityOptions{}).report;
+
+  const io::VerdictStore store(fresh_dir("prune"));
+  ASSERT_TRUE(store.store_verdict(old_fp, "0000000000000001", old_report));
+  ASSERT_TRUE(store.store_artifact(old_fp, "ladder.levels", "old"));
+  ASSERT_TRUE(store.store_verdict(new_fp, "0000000000000002", new_report));
+  ASSERT_TRUE(store.store_artifact(new_fp, "ladder.levels", "new"));
+
+  // Filesystem timestamp granularity can be coarse: age the first entry
+  // explicitly so "oldest" is unambiguous.
+  const fs::path old_dir = fs::path(store.root()) /
+                           old_fp.hex().substr(0, 2) / old_fp.hex();
+  const auto past = fs::file_time_type::clock::now() - std::chrono::hours(2);
+  for (const auto& f : fs::directory_iterator(old_dir)) {
+    fs::last_write_time(f.path(), past);
+  }
+
+  const std::uint64_t total = store.stats().total_bytes();
+  const io::VerdictStore::PruneResult pruned = store.prune(total - 1);
+  EXPECT_EQ(pruned.evicted_entries, 1u);
+  EXPECT_GT(pruned.evicted_bytes, 0u);
+  EXPECT_EQ(pruned.remaining_bytes, total - pruned.evicted_bytes);
+
+  // Whole-entry eviction: the oldest task lost its record AND artifact; the
+  // survivor kept both — a surviving verdict is never stranded without the
+  // artifacts published beside it.
+  PipelineReport loaded;
+  std::string body;
+  EXPECT_FALSE(store.load_verdict(old_fp, "0000000000000001", &loaded));
+  EXPECT_FALSE(store.load_artifact(old_fp, "ladder.levels", &body));
+  EXPECT_TRUE(store.load_verdict(new_fp, "0000000000000002", &loaded));
+  EXPECT_TRUE(store.load_artifact(new_fp, "ladder.levels", &body));
+
+  // Pruning to zero clears everything; an empty store prunes to a no-op.
+  const io::VerdictStore::PruneResult all = store.prune(0);
+  EXPECT_EQ(all.evicted_entries, 1u);
+  EXPECT_EQ(all.remaining_bytes, 0u);
+  EXPECT_EQ(store.prune(0).evicted_entries, 0u);
 }
 
 TEST(Store, DeltaImagesRoundTripAcrossIsomorphism) {

@@ -8,6 +8,7 @@
 //   trichroma split <file>          canonicalize + split; print T' and report
 //   trichroma dot <file> in|out     GraphViz rendering of a complex
 //   trichroma run <file> [seed]     synthesize a protocol and execute it
+//   trichroma cache stats|prune     inspect / evict the verdict store
 //   trichroma list                  list built-in demo tasks
 //   trichroma version               print version / schema / build type
 //
@@ -17,8 +18,13 @@
 // `decide --cache-dir DIR` (also honored by `batch`) consults and feeds a
 // content-addressed verdict store keyed by the task's canonical fingerprint
 // (io/store.h): a warm run replays the stored verdict instead of running
-// the engines. `synth` never uses the store — the witness map is not part
-// of a verdict record, so a hit would have nothing to synthesize from.
+// the engines, and on a key miss the engines warm-start from a budget
+// sibling's record or stored subdivision-ladder artifacts (reported as
+// cache "artifacts"). `synth` never uses the store — the witness map is
+// not part of a verdict record, so a hit would have nothing to synthesize
+// from. `cache stats` and `cache prune --max-bytes N` (both take
+// --cache-dir) inspect and shrink a store; pruning evicts whole task
+// entries oldest-first, so a surviving verdict never loses its artifacts.
 //
 // `decide --trace out.json` records a Chrome trace-event timeline of the
 // run (spans from the executor, map searches, pipeline lanes and topology
@@ -36,6 +42,7 @@
 
 #include "core/characterization.h"
 #include "io/report.h"
+#include "io/store.h"
 #include "io/task_format.h"
 #include <algorithm>
 
@@ -82,6 +89,8 @@ int usage() {
                "  synth <file>       print the synthesized protocol's decision table\n"
                "  dot <file> in|out  GraphViz for the input/output complex\n"
                "  run <file> [seed]  synthesize and execute a protocol\n"
+               "  cache stats        verdict-store size by kind (needs --cache-dir)\n"
+               "  cache prune        evict oldest store entries down to --max-bytes\n"
                "  version            print version, report schema and build type\n"
                "options:\n"
                "  --threads N        pipeline + search workers (default: hardware\n"
@@ -91,10 +100,13 @@ int usage() {
                "  --jobs N           (batch) concurrent whole-task pipelines\n"
                "                     (default: 1; 0 = hardware concurrency)\n"
                "  --tasks a,b,...    (batch) restrict to these catalog tasks\n"
-               "  --cache-dir DIR    (decide/batch) content-addressed verdict store:\n"
-               "                     replay stored verdicts for tasks already decided\n"
-               "                     (keyed by canonical fingerprint + budget; synth\n"
-               "                     ignores it — witnesses are not stored)\n"
+               "  --cache-dir DIR    (decide/batch/cache) content-addressed verdict\n"
+               "                     store: replay stored verdicts for tasks already\n"
+               "                     decided, or warm-start the engines from a budget\n"
+               "                     sibling's subdivision artifacts (keyed by\n"
+               "                     canonical fingerprint + budget; synth ignores\n"
+               "                     it — witnesses are not stored)\n"
+               "  --max-bytes N      (cache prune) target store size in bytes\n"
                "  --report FILE      (decide/synth) write the JSON pipeline report\n"
                "  --report-dir DIR   (batch) write one JSON report per task\n"
                "                     (timings redacted: files are byte-identical\n"
@@ -113,6 +125,7 @@ struct CliOptions {
   std::string report_dir;          // batch
   std::string trace_path;          // decide/synth
   std::string trace_dir;           // batch
+  long long max_bytes = -1;        // cache prune: -1 = not given
 };
 
 /// RAII trace session around one CLI command: collection starts at
@@ -225,8 +238,11 @@ int cmd_batch(const CliOptions& cli) {
   std::printf("batch: %zu tasks, %d jobs, %.1f ms\n", result.tasks.size(),
               resolve_batch_jobs(cli.jobs), result.wall_ms);
   if (!cli.solve.cache_dir.empty()) {
-    std::printf("cache: %d hit(s), %d miss(es)\n", result.cache_hits,
-                result.cache_misses);
+    // The "N hit(s), M miss(es)" prefix is a substring contract (CI greps
+    // it); the warm-start count is strictly appended.
+    std::printf("cache: %d hit(s), %d miss(es), %d warm-start(s)\n",
+                result.cache_hits, result.cache_misses,
+                result.cache_artifacts);
   }
   std::printf("\n");
   std::printf("%-24s %-12s %7s %6s %9s  %s\n", "task", "verdict", "radius",
@@ -250,6 +266,44 @@ int cmd_batch(const CliOptions& cli) {
     std::printf("\nreports written to %s/\n", cli.report_dir.c_str());
   }
   return result.unknown == 0 ? 0 : 1;
+}
+
+int cmd_cache(const char* action, const CliOptions& cli) {
+  if (cli.solve.cache_dir.empty()) {
+    std::fprintf(stderr, "error: 'cache %s' needs --cache-dir\n", action);
+    return 2;
+  }
+  const io::VerdictStore store(cli.solve.cache_dir);
+  if (std::strcmp(action, "stats") == 0) {
+    const io::VerdictStore::Stats s = store.stats();
+    std::printf("store:           %s\n", cli.solve.cache_dir.c_str());
+    std::printf("entries:         %zu\n", s.entries);
+    std::printf("verdict records: %zu (%llu bytes)\n", s.verdict_records,
+                static_cast<unsigned long long>(s.verdict_bytes));
+    std::printf("artifact files:  %zu (%llu bytes)\n", s.artifact_files,
+                static_cast<unsigned long long>(s.artifact_bytes));
+    std::printf("other files:     %zu (%llu bytes)\n", s.other_files,
+                static_cast<unsigned long long>(s.other_bytes));
+    std::printf("total bytes:     %llu\n",
+                static_cast<unsigned long long>(s.total_bytes()));
+    return 0;
+  }
+  if (std::strcmp(action, "prune") == 0) {
+    if (cli.max_bytes < 0) {
+      std::fprintf(stderr, "error: 'cache prune' needs --max-bytes\n");
+      return 2;
+    }
+    const io::VerdictStore::PruneResult r =
+        store.prune(static_cast<std::uint64_t>(cli.max_bytes));
+    std::printf("evicted:   %zu entries (%llu bytes)\n", r.evicted_entries,
+                static_cast<unsigned long long>(r.evicted_bytes));
+    std::printf("remaining: %llu bytes\n",
+                static_cast<unsigned long long>(r.remaining_bytes));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown cache action '%s' (want stats|prune)\n",
+               action);
+  return 2;
 }
 
 int cmd_fingerprint(const Task& task) {
@@ -421,6 +475,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
       if (i + 1 >= argc) return usage();
       cli.solve.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-bytes") == 0) {
+      if (i + 1 >= argc) return usage();
+      long n = 0;
+      if (!parse_long(argv[++i], 0, 2'000'000'000'000L, &n)) {
+        std::fprintf(stderr,
+                     "error: --max-bytes expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      cli.max_bytes = n;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       if (i + 1 >= argc) return usage();
       cli.report_path = argv[++i];
@@ -466,6 +530,10 @@ int main(int argc, char** argv) {
       }
       std::printf("%s", io::serialize_task(it->second()).c_str());
       return 0;
+    }
+    if (command == "cache") {
+      if (argc != 3) return usage();
+      return cmd_cache(argv[2], cli);
     }
     if (argc < 3) return usage();
     const Task task = load(argv[2]);
