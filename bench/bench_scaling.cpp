@@ -71,6 +71,27 @@ void BM_PrefixSearchThreads(benchmark::State& state) {
 BENCHMARK(BM_PrefixSearchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Cold Ch^2 tower build at increasing threads: the third parallel layer
+// (chunked template stamping, see bench_ladder.cpp for the full radius
+// sweep). Unlike the layers above, the sequential Phase-1 interning bounds
+// the achievable speedup (Amdahl), so the curve saturates earlier than the
+// search's.
+void BM_LadderBuildThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t facets = 0;
+  for (auto _ : state) {
+    const Task task = zoo::set_agreement_32();
+    const SubdividedComplex top =
+        chromatic_subdivision(*task.pool, task.input, 2, threads);
+    facets = top.complex.count(top.complex.dimension());
+    benchmark::DoNotOptimize(facets);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["facets"] = static_cast<double>(facets);
+}
+BENCHMARK(BM_LadderBuildThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -101,7 +101,10 @@ void emit_engine(Builder& b, const EngineReport& e,
 // v7: the "cache" field gained the "artifacts" value (warm start from a
 // stored sibling record or ladder/Δ-image artifacts) and the metrics cache
 // line gained "seeded_levels". The grep contract below is unchanged.
-const char* report_schema() { return "trichroma.pipeline-report/7"; }
+// v8: metrics gained the "ladder" sub-object (parallel-build telemetry:
+// chunks stamped, merge wall time, Δ-population stripe contention). Like
+// "executor" it is scheduling-dependent and zeroed under redact_timings.
+const char* report_schema() { return "trichroma.pipeline-report/8"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -182,6 +185,14 @@ std::string to_json(const PipelineReport& report,
   b.field("injections", std::to_string(exec.injections));
   b.field("max_queue_depth", std::to_string(exec.max_queue_depth));
   b.field("help_runs", std::to_string(exec.help_runs));
+  b.close('}');
+  const PipelineReport::LadderBuildStats ladder =
+      options.redact_timings ? PipelineReport::LadderBuildStats{}
+                             : report.ladder_stats;
+  b.open("ladder", '{');
+  b.field("parallel_chunks", std::to_string(ladder.parallel_chunks));
+  b.field("merge_ns", std::to_string(ladder.merge_ns));
+  b.field("stripe_contention", std::to_string(ladder.stripe_contention));
   b.close('}');
   // One line by construction (see the top-level "cache" field).
   b.field("cache", "{ \"hits\": " + std::to_string(report.cache_hits) +

@@ -2,7 +2,7 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/6"
+//   "schema": "trichroma.pipeline-report/8"
 // and consumers should dispatch on it. Version 6 added the verdict-store
 // surface: a top-level "cache": "off" | "hit" | "miss" marker and a
 // "cache" rollup inside "metrics" ({ "hits", "misses", "store_bytes" }).
@@ -28,7 +28,7 @@
 // indistinguishable from a lane that never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/6",
+//     "schema": "trichroma.pipeline-report/8",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "reuse_subdivisions", "reuse_images" },

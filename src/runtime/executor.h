@@ -139,6 +139,14 @@ class Executor {
 
   static constexpr int kMaxWorkers = 64;
 
+  /// Chunk-count heuristic for data-parallel fan-out (the chunked
+  /// subdivision build, the striped Δ-image population): enough chunks per
+  /// worker that stealing can smooth imbalance, capped at the item count. A
+  /// pure function of (workers, items) — never of runtime load — so the
+  /// decomposition is reproducible; and because every consumer merges chunks
+  /// in deterministic order, the chunk count itself never reaches a report.
+  static std::size_t recommended_chunks(int workers, std::size_t items);
+
  private:
   friend class JobGroup;
   friend struct exec_detail::GroupCore;

@@ -64,28 +64,53 @@ BatchResult run_batch(const BatchOptions& options) {
   out.tasks.resize(selected.size());
   const int jobs = resolve_batch_jobs(options.jobs);
 
-  // Cache mode: sequential fingerprint pre-pass for intra-batch dedup (see
-  // the header comment — isomorphic twins must not race to publish one
-  // store entry). Builds each task once extra; zoo builds are milliseconds
-  // against pipeline runs that are not. A slot that fails to fingerprint
-  // simply runs cold like everyone else.
+  // Cache mode: fingerprint pre-pass for intra-batch dedup (see the header
+  // comment — isomorphic twins must not race to publish one store entry).
+  // Each slot builds its own task (fresh pool, race-free) and fills only its
+  // own row, so the builds fan out as executor jobs; the first_slot dedup
+  // stays a sequential slot-order pass afterwards, which is what keeps
+  // `dup_of` (and therefore every replayed report) independent of the job
+  // count. A slot that fails to fingerprint simply runs cold like everyone
+  // else.
   std::vector<int> dup_of(selected.size(), -1);
   std::vector<std::string> task_names(selected.size());
   std::vector<std::size_t> in_facets(selected.size(), 0);
   std::vector<std::size_t> out_facets(selected.size(), 0);
   if (!per_task.cache_dir.empty()) {
+    TRI_SPAN("batch/fingerprint-prepass");
+    std::vector<std::string> fp_hex(selected.size());
+    std::atomic<std::size_t> fp_next{0};
+    const auto fingerprint_slots = [&] {
+      for (;;) {
+        const std::size_t i = fp_next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= selected.size()) return;
+        try {
+          const Task task = selected[i]->build();
+          task_names[i] = task.name;
+          in_facets[i] = top_facet_count(task.input);
+          out_facets[i] = top_facet_count(task.output);
+          fp_hex[i] = fingerprint_of(task).hex();
+        } catch (...) {
+        }
+      }
+    };
+    if (jobs > 1 && selected.size() > 1) {
+      Executor& executor = Executor::global();
+      executor.ensure_workers(jobs - 1);
+      JobGroup group(executor);
+      const std::size_t extra = std::min<std::size_t>(
+          static_cast<std::size_t>(jobs) - 1, selected.size() - 1);
+      for (std::size_t w = 0; w < extra; ++w) group.submit(fingerprint_slots);
+      fingerprint_slots();
+      group.wait();
+    } else {
+      fingerprint_slots();
+    }
     std::unordered_map<std::string, std::size_t> first_slot;
     for (std::size_t i = 0; i < selected.size(); ++i) {
-      try {
-        const Task task = selected[i]->build();
-        task_names[i] = task.name;
-        in_facets[i] = top_facet_count(task.input);
-        out_facets[i] = top_facet_count(task.output);
-        const auto [it, inserted] =
-            first_slot.emplace(fingerprint_of(task).hex(), i);
-        if (!inserted) dup_of[i] = static_cast<int>(it->second);
-      } catch (...) {
-      }
+      if (fp_hex[i].empty()) continue;  // build threw: no dedup for this slot
+      const auto [it, inserted] = first_slot.emplace(fp_hex[i], i);
+      if (!inserted) dup_of[i] = static_cast<int>(it->second);
     }
   }
 

@@ -284,7 +284,9 @@ void ProbeEngine::execute(const EngineBudget& budget,
   options.cancel = token.flag();
   DeltaImageCache images;
   if (budget.reuse_images) options.image_cache = &images;
+  const int build_threads = resolve_search_threads(budget.threads);
   SubdivisionLadder ladder(*task_.pool, task_.input);
+  ladder.set_threads(build_threads);
 
   // Warm start: materialize stored artifacts under this task's identity
   // before the first rung. The ladder loader re-interns subdivision
@@ -316,6 +318,15 @@ void ProbeEngine::execute(const EngineBudget& budget,
     }
   }
 
+  // Eagerly compile every Δ-image the CSPs can ask for: the carriers of all
+  // subdivision cells at every radius are exactly the base simplices, so
+  // this one pass (parallel for build_threads > 1) makes every later
+  // image_of call a pure lookup. Artifact preloads above are skipped, and
+  // warm accounting keeps hit/miss counters as-if-cold (map_search.h).
+  if (budget.reuse_images) {
+    images.populate(task_.delta, task_.input.all_simplices(), build_threads);
+  }
+
   report.status = EngineStatus::Inconclusive;
   for (int r = 0; r <= budget.max_radius; ++r) {
     if (token.stop_requested()) {
@@ -326,8 +337,8 @@ void ProbeEngine::execute(const EngineBudget& budget,
     std::shared_ptr<const SubdividedComplex> domain =
         budget.reuse_subdivisions
             ? ladder.share(r)
-            : std::make_shared<const SubdividedComplex>(
-                  chromatic_subdivision(*task_.pool, task_.input, r));
+            : std::make_shared<const SubdividedComplex>(chromatic_subdivision(
+                  *task_.pool, task_.input, r, build_threads));
     computed_levels_.push_back(domain);
     last_ = find_decision_map(*task_.pool, *domain, task_, options);
     report.radius_reached = r;

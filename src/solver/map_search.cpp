@@ -124,6 +124,78 @@ void DeltaImageCache::preload(const Simplex& carrier,
   warm_.insert(carrier);
 }
 
+void DeltaImageCache::populate(const CarrierMap& delta,
+                               const std::vector<Simplex>& carriers,
+                               int threads) {
+  TRI_SPAN("ladder/populate");
+  std::vector<const Simplex*> todo;
+  todo.reserve(carriers.size());
+  for (const Simplex& c : carriers) {
+    if (!c.empty() && cache_.count(c) == 0) todo.push_back(&c);
+  }
+  if (todo.empty()) return;
+
+  // Compile into per-carrier slots first; nothing touches cache_ until the
+  // deterministic merge below, so the map's content (and therefore every
+  // pointer handed out later) is independent of scheduling.
+  std::vector<std::shared_ptr<const CompiledComplex>> compiled(todo.size());
+  const auto compile_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      compiled[i] = CompiledComplex::compile(delta.image_complex(*todo[i]));
+    }
+  };
+  if (threads <= 1) {
+    compile_range(0, todo.size());
+  } else {
+    static obs::Counter& contention = obs::MetricsRegistry::global().counter(
+        "cache.delta.stripe_contention");
+    Executor& executor = Executor::global();
+    executor.ensure_workers(threads - 1);
+    const std::size_t stripes =
+        Executor::recommended_chunks(threads, todo.size());
+    // Equal-count contiguous stripes: Δ-images of one base complex are all
+    // small, so count balancing suffices (unlike the facet-weighted chunks
+    // of the subdivision build).
+    std::vector<std::size_t> bounds(stripes + 1);
+    for (std::size_t s = 0; s <= stripes; ++s) {
+      bounds[s] = todo.size() * s / stripes;
+    }
+    // Stripe claiming: each job scans circularly from its own offset and
+    // claims stripes with an atomic exchange. A failed exchange means
+    // another worker got there first — counted as stripe contention
+    // (pure telemetry; reports redact it with the other scheduling-
+    // dependent quantities).
+    std::vector<std::atomic<int>> claimed(stripes);
+    for (auto& flag : claimed) flag.store(0, std::memory_order_relaxed);
+    const std::size_t jobs =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), stripes);
+    const auto run = [&](std::size_t job) {
+      const std::size_t start = stripes * job / jobs;
+      for (std::size_t k = 0; k < stripes; ++k) {
+        const std::size_t s = (start + k) % stripes;
+        if (claimed[s].exchange(1, std::memory_order_acq_rel) != 0) {
+          contention.add();
+          continue;
+        }
+        compile_range(bounds[s], bounds[s + 1]);
+      }
+    };
+    JobGroup group(executor);
+    for (std::size_t j = 1; j < jobs; ++j) {
+      group.submit([&run, j] { run(j); });
+    }
+    run(0);
+    group.wait();
+  }
+
+  // Deterministic merge in carrier order; warm marking keeps the hit/miss
+  // accounting as-if-cold (see image_of).
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    cache_.emplace(*todo[i], std::move(compiled[i]));
+    warm_.insert(*todo[i]);
+  }
+}
+
 std::size_t DeltaImageCache::EdgeClassHash::operator()(
     const EdgeClass& k) const noexcept {
   std::size_t h = std::hash<const void*>{}(k.allowed);

@@ -61,12 +61,30 @@ namespace trichroma {
 /// All mask/table rows are stored on one internal monotonic arena, so CSP
 /// compilation only touches the allocator on a class miss.
 ///
-/// Not thread-safe; the CSP is compiled single-threaded.
+/// Not thread-safe as a handle: callers must serialize access (the CSP is
+/// compiled single-threaded). `populate` is the one internally parallel
+/// entry point — it fans image compilation out over executor stripes while
+/// it runs, but the caller still must not touch the cache concurrently.
 class DeltaImageCache {
  public:
   using Mask = std::uint64_t;
 
   const CompiledComplex* image_of(const CarrierMap& delta, const Simplex& carrier);
+
+  /// Eagerly compiles Δ(carrier) for every carrier in `carriers` not
+  /// already cached (artifact preloads and prior entries are never
+  /// clobbered), so searches start hot instead of faulting images in
+  /// serially. With `threads >= 2` the compilation fans out over
+  /// stripe-sharded executor jobs — each stripe compiles a contiguous
+  /// claim-protected range into its own slots — and the results are merged
+  /// in deterministic carrier order. Every populated entry is marked warm
+  /// exactly like `preload`: its first `image_of` touch is charged as the
+  /// miss a lazy cold run would have paid, and entries never touched never
+  /// count, so hit/miss counters are byte-identical to the lazy path at
+  /// every thread count. The engines pass the base complex's canonical
+  /// simplex list — the carriers of every subdivision cell at every radius.
+  void populate(const CarrierMap& delta, const std::vector<Simplex>& carriers,
+                int threads = 1);
 
   /// Inserts a pre-compiled image for `carrier` built from its facet list
   /// (a stored `delta.images` artifact row, io/store.h). The entry is

@@ -212,6 +212,15 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   TRI_SPAN("pipeline/run");
   obs::MetricsRegistry::global().counter("pipeline.runs").add();
   const ExecutorStats exec_before = Executor::global().stats();
+  const auto ladder_counters = [] {
+    PipelineReport::LadderBuildStats s;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    s.parallel_chunks = reg.counter("ladder.parallel_chunks").value();
+    s.merge_ns = reg.counter("ladder.merge_ns").value();
+    s.stripe_contention = reg.counter("cache.delta.stripe_contention").value();
+    return s;
+  };
+  const PipelineReport::LadderBuildStats ladder_before = ladder_counters();
   const Clock::time_point start = Clock::now();
   PipelineResult out;
   PipelineReport& report = out.report;
@@ -398,13 +407,20 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
 
   // Counter deltas are this run's share of the shared pool's telemetry;
   // max_queue_depth is a high-water mark and stays cumulative.
-  const auto sample_exec_stats = [&exec_before, &report] {
+  const auto sample_exec_stats = [&exec_before, &ladder_before,
+                                  &ladder_counters, &report] {
     const ExecutorStats now = Executor::global().stats();
     report.executor_stats.jobs_run = now.jobs_run - exec_before.jobs_run;
     report.executor_stats.steals = now.steals - exec_before.steals;
     report.executor_stats.injections = now.injections - exec_before.injections;
     report.executor_stats.max_queue_depth = now.max_queue_depth;
     report.executor_stats.help_runs = now.help_runs - exec_before.help_runs;
+    const PipelineReport::LadderBuildStats lnow = ladder_counters();
+    report.ladder_stats.parallel_chunks =
+        lnow.parallel_chunks - ladder_before.parallel_chunks;
+    report.ladder_stats.merge_ns = lnow.merge_ns - ladder_before.merge_ns;
+    report.ladder_stats.stripe_contention =
+        lnow.stripe_contention - ladder_before.stripe_contention;
   };
 
   // Two processes: Proposition 5.4 decides exactly; nothing to race.

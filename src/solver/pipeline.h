@@ -30,6 +30,7 @@
 // the batch driver does to make its report files byte-identical.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,7 +76,7 @@ struct SolvabilityOptions {
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
-/// trichroma.pipeline-report/5).
+/// trichroma.pipeline-report/8).
 struct PipelineReport {
   std::string task_name;
   int num_processes = 3;
@@ -121,6 +122,19 @@ struct PipelineReport {
   /// on timing, and concurrent batch jobs' tickets land in the same delta —
   /// so reports zero it under redact_timings, like wall clocks.
   ExecutorStats executor_stats;
+  /// Parallel ladder-build telemetry, as a delta over this run (global
+  /// counters sampled at entry and exit). `parallel_chunks` counts builder
+  /// chunks stamped by parallel `subdivide_once` phases, `merge_ns` the
+  /// wall time of their canonical-order merges, `stripe_contention` the
+  /// failed stripe claims during Δ-image population. All three depend on
+  /// thread count and timing (and concurrent batch jobs share the globals),
+  /// so reports zero the whole sub-object under redact_timings.
+  struct LadderBuildStats {
+    std::uint64_t parallel_chunks = 0;
+    std::uint64_t merge_ns = 0;
+    std::uint64_t stripe_contention = 0;
+  };
+  LadderBuildStats ladder_stats;
   /// One entry per schedulable engine, in canonical pipeline order (engines
   /// the schedule never started appear with status "skipped").
   std::vector<EngineReport> engines;

@@ -42,7 +42,7 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/7\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/8\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
     // Schema v6/v7: the verdict-store marker and rollup, each on one line so
@@ -59,6 +59,10 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     EXPECT_NE(json.find("\"nodes_explored_total\":"), std::string::npos);
     EXPECT_NE(json.find("\"executor\": {"), std::string::npos);
     EXPECT_NE(json.find("\"max_queue_depth\":"), std::string::npos);
+    // Schema v8: the parallel ladder-build telemetry sub-object.
+    EXPECT_NE(json.find("\"ladder\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"parallel_chunks\":"), std::string::npos);
+    EXPECT_NE(json.find("\"stripe_contention\":"), std::string::npos);
     EXPECT_EQ(json.back(), '\n');
   }
 }
@@ -113,6 +117,7 @@ TEST(Report, RedactTimingsZeroesExecutorTelemetry) {
   // while the unredacted rendering keeps the sampled values.
   PipelineReport report;
   report.executor_stats = ExecutorStats{12, 3, 4, 7, 5};
+  report.ladder_stats = PipelineReport::LadderBuildStats{9, 1234, 2};
   io::ReportJsonOptions redacted;
   redacted.redact_timings = true;
   const std::string text = io::to_json(report, redacted);
@@ -120,12 +125,19 @@ TEST(Report, RedactTimingsZeroesExecutorTelemetry) {
   EXPECT_NE(text.find("\"steals\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"max_queue_depth\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"help_runs\": 0"), std::string::npos);
+  // The ladder sub-object (schema v8) is equally scheduling-dependent.
+  EXPECT_NE(text.find("\"parallel_chunks\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"merge_ns\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"stripe_contention\": 0"), std::string::npos);
   const std::string raw = io::to_json(report);
   EXPECT_NE(raw.find("\"jobs_run\": 12"), std::string::npos);
   EXPECT_NE(raw.find("\"steals\": 3"), std::string::npos);
   EXPECT_NE(raw.find("\"injections\": 4"), std::string::npos);
   EXPECT_NE(raw.find("\"max_queue_depth\": 7"), std::string::npos);
   EXPECT_NE(raw.find("\"help_runs\": 5"), std::string::npos);
+  EXPECT_NE(raw.find("\"parallel_chunks\": 9"), std::string::npos);
+  EXPECT_NE(raw.find("\"merge_ns\": 1234"), std::string::npos);
+  EXPECT_NE(raw.find("\"stripe_contention\": 2"), std::string::npos);
 }
 
 TEST(Report, JsonEscapeHandlesControlAndQuoteCharacters) {

@@ -1,0 +1,259 @@
+// Determinism of the parallel substrate builds: the multi-threaded
+// subdivision ladder (topology/subdivision.h) and the stripe-sharded
+// Δ-image population (solver/map_search.h) must be bit-equivalent to their
+// sequential paths — same raw vertex ids, colors, carriers, and compiled
+// geometry for the ladder; same cached images and the same hit/miss
+// accounting for the cache — at every thread count. These are the
+// invariants behind the batch driver's byte-identical report contract, so
+// they are asserted directly here rather than only end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "solver/map_search.h"
+#include "tasks/zoo.h"
+#include "topology/subdivision.h"
+
+namespace trichroma {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> facet_table(const SimplicialComplex& c) {
+  std::vector<std::vector<std::uint32_t>> out;
+  c.for_each([&](const Simplex& s) {
+    std::vector<std::uint32_t> f;
+    f.reserve(s.size());
+    for (VertexId v : s) f.push_back(raw(v));
+    out.push_back(std::move(f));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<std::uint32_t, std::vector<std::uint32_t>> carrier_table(
+    const SubdividedComplex& s) {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> out;
+  for (const auto& [v, carrier] : s.carrier) {
+    std::vector<std::uint32_t> c;
+    c.reserve(carrier.size());
+    for (VertexId w : carrier) c.push_back(raw(w));
+    out.emplace(raw(v), std::move(c));
+  }
+  return out;
+}
+
+/// Full structural equality across two independently grown pools: facets by
+/// raw id, carriers, colors, and the compiled snapshots row for row.
+void expect_equivalent(const VertexPool& pa, const SubdividedComplex& a,
+                       const VertexPool& pb, const SubdividedComplex& b) {
+  EXPECT_EQ(facet_table(a.complex), facet_table(b.complex));
+  EXPECT_EQ(carrier_table(a), carrier_table(b));
+
+  ASSERT_NE(a.compiled, nullptr);
+  ASSERT_NE(b.compiled, nullptr);
+  const CompiledComplex& ca = *a.compiled;
+  const CompiledComplex& cb = *b.compiled;
+  ASSERT_EQ(ca.num_vertices(), cb.num_vertices());
+  for (std::size_t i = 0; i < ca.num_vertices(); ++i) {
+    const auto l = static_cast<CompiledComplex::Local>(i);
+    EXPECT_EQ(ca.vertex(l), cb.vertex(l));
+    EXPECT_EQ(pa.color(ca.vertex(l)), pb.color(cb.vertex(l)));
+  }
+  ASSERT_EQ(ca.num_edges(), cb.num_edges());
+  for (std::size_t e = 0; e < ca.num_edges(); ++e) {
+    EXPECT_EQ(ca.edge(e), cb.edge(e));
+  }
+  ASSERT_EQ(ca.num_triangles(), cb.num_triangles());
+  for (std::size_t t = 0; t < ca.num_triangles(); ++t) {
+    EXPECT_EQ(ca.triangle(t), cb.triangle(t));
+  }
+  ca.debug_verify_against(b.complex);
+  cb.debug_verify_against(a.complex);
+}
+
+/// Grows the ladder twice on two private pools — sequential vs `threads` —
+/// comparing every level. Equal raw ids across pools is the strongest form
+/// of the contract: the parallel build interned in exactly the sequential
+/// order.
+void sweep_task(Task (*build)(), int threads, int max_r) {
+  const Task ts = build();
+  const Task tp = build();
+  SubdividedComplex seq = identity_subdivision(ts.input);
+  SubdividedComplex par = identity_subdivision(tp.input);
+  expect_equivalent(*ts.pool, seq, *tp.pool, par);
+  for (int r = 1; r <= max_r; ++r) {
+    seq = subdivide_once(*ts.pool, seq, 1);
+    par = subdivide_once(*tp.pool, par, threads);
+    SCOPED_TRACE("radius " + std::to_string(r));
+    expect_equivalent(*ts.pool, seq, *tp.pool, par);
+  }
+}
+
+TEST(ParallelLadder, MatchesSequentialOnWholeCatalog) {
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    for (const zoo::CatalogEntry& entry : zoo::catalog()) {
+      SCOPED_TRACE(entry.name);
+      sweep_task(entry.build, threads, 2);
+    }
+  }
+}
+
+TEST(ParallelLadder, MatchesSequentialAtRadiusThree) {
+  // Radius 3 exercises many chunks per dimension (13^3 facets per base
+  // triangle); the full catalog at this depth is too slow for the suite, so
+  // one obstructed catalog task stands in.
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    sweep_task(+[] { return zoo::hourglass(); }, threads, 3);
+  }
+}
+
+TEST(ParallelLadder, MatchesSequentialOnSeededRandomTasks) {
+  for (std::uint64_t seed : {3u, 17u, 58u, 71u, 104u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    zoo::RandomTaskParams params;
+    params.seed = seed;
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const Task ts = zoo::random_task(params);
+      const Task tp = zoo::random_task(params);
+      SubdividedComplex seq = identity_subdivision(ts.input);
+      SubdividedComplex par = identity_subdivision(tp.input);
+      for (int r = 1; r <= 2; ++r) {
+        seq = subdivide_once(*ts.pool, seq, 1);
+        par = subdivide_once(*tp.pool, par, threads);
+        SCOPED_TRACE("radius " + std::to_string(r));
+        expect_equivalent(*ts.pool, seq, *tp.pool, par);
+      }
+    }
+  }
+}
+
+TEST(ParallelLadder, LadderHandleForwardsThreads) {
+  const Task ts = zoo::hourglass();
+  const Task tp = zoo::hourglass();
+  SubdivisionLadder seq(*ts.pool, ts.input);
+  SubdivisionLadder par(*tp.pool, tp.input);
+  par.set_threads(8);
+  EXPECT_EQ(par.threads(), 8);
+  for (int r = 0; r <= 2; ++r) {
+    SCOPED_TRACE("radius " + std::to_string(r));
+    expect_equivalent(*ts.pool, seq.at(r), *tp.pool, par.at(r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stripe-sharded Δ-image population
+// ---------------------------------------------------------------------------
+
+/// Compiled-image equality, row for row.
+void expect_same_image(const CompiledComplex* a, const CompiledComplex* b) {
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->num_vertices(), b->num_vertices());
+  for (std::size_t i = 0; i < a->num_vertices(); ++i) {
+    const auto l = static_cast<CompiledComplex::Local>(i);
+    EXPECT_EQ(a->vertex(l), b->vertex(l));
+  }
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (std::size_t e = 0; e < a->num_edges(); ++e) {
+    EXPECT_EQ(a->edge(e), b->edge(e));
+  }
+  ASSERT_EQ(a->num_triangles(), b->num_triangles());
+  for (std::size_t t = 0; t < a->num_triangles(); ++t) {
+    EXPECT_EQ(a->triangle(t), b->triangle(t));
+  }
+}
+
+/// The shared access script both runs replay: touch every other carrier
+/// twice (so hits exist), leave the rest untouched (so eager entries that
+/// are never asked for must not count).
+void run_access_script(DeltaImageCache& cache, const Task& task,
+                       const std::vector<Simplex>& carriers,
+                       std::vector<const CompiledComplex*>* images) {
+  for (std::size_t i = 0; i < carriers.size(); i += 2) {
+    const CompiledComplex* first = cache.image_of(task.delta, carriers[i]);
+    const CompiledComplex* second = cache.image_of(task.delta, carriers[i]);
+    EXPECT_EQ(first, second);
+    images->push_back(first);
+  }
+}
+
+void expect_populate_matches_lazy(const Task& task) {
+  std::vector<Simplex> carriers;
+  for (const Simplex& s : task.input.all_simplices()) {
+    if (!s.empty()) carriers.push_back(s);
+  }
+  ASSERT_FALSE(carriers.empty());
+
+  DeltaImageCache lazy;
+  std::vector<const CompiledComplex*> lazy_images;
+  run_access_script(lazy, task, carriers, &lazy_images);
+
+  obs::Counter& contention =
+      obs::MetricsRegistry::global().counter("cache.delta.stripe_contention");
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const std::uint64_t contention_before = contention.value();
+    DeltaImageCache eager;
+    eager.populate(task.delta, carriers, threads);
+    if (threads == 1) {
+      // The unsharded path never races, so it must never report contention.
+      EXPECT_EQ(contention.value(), contention_before);
+    }
+    EXPECT_EQ(eager.size(), carriers.size());
+    EXPECT_EQ(eager.warm_remaining(), carriers.size());
+    // Eager compilation itself charges nothing.
+    EXPECT_EQ(eager.hits(), 0u);
+    EXPECT_EQ(eager.misses(), 0u);
+
+    std::vector<const CompiledComplex*> eager_images;
+    run_access_script(eager, task, carriers, &eager_images);
+    // Identical accounting to the lazy cold path: first touch of a
+    // populated entry is the miss a lazy run would have paid, repeat
+    // touches hit, untouched entries never count.
+    EXPECT_EQ(eager.hits(), lazy.hits());
+    EXPECT_EQ(eager.misses(), lazy.misses());
+    EXPECT_EQ(eager.warm_remaining(),
+              carriers.size() - (carriers.size() + 1) / 2);
+    ASSERT_EQ(eager_images.size(), lazy_images.size());
+    for (std::size_t i = 0; i < eager_images.size(); ++i) {
+      expect_same_image(eager_images[i], lazy_images[i]);
+    }
+  }
+}
+
+TEST(DeltaImagePopulate, ShardedAccountingMatchesLazyPath) {
+  expect_populate_matches_lazy(zoo::hourglass());
+  zoo::RandomTaskParams params;
+  params.seed = 29;
+  expect_populate_matches_lazy(zoo::random_task(params));
+}
+
+TEST(DeltaImagePopulate, SkipsExistingEntriesAndIsIdempotent) {
+  const Task task = zoo::hourglass();
+  std::vector<Simplex> carriers;
+  for (const Simplex& s : task.input.all_simplices()) {
+    if (!s.empty()) carriers.push_back(s);
+  }
+  DeltaImageCache cache;
+  // Fault one entry in the ordinary lazy way first; populate must leave it
+  // (and its already-charged miss) alone.
+  const CompiledComplex* before = cache.image_of(task.delta, carriers.front());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.populate(task.delta, carriers, 8);
+  cache.populate(task.delta, carriers, 8);  // second call: all cached, no-op
+  EXPECT_EQ(cache.size(), carriers.size());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.image_of(task.delta, carriers.front()), before);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace trichroma

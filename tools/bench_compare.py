@@ -8,9 +8,11 @@ Matches benchmarks by name (per-iteration rows only — aggregate rows from
 --benchmark_repetitions are skipped), compares real_time after normalizing
 time units, and prints a table of ratios. Exits non-zero when any benchmark
 regressed past the threshold (default +25%), which is what the CI release
-job gates on. Benchmarks present on only one side are reported but never
-fail the run: a renamed or newly added benchmark needs a baseline refresh,
-not a red build.
+job gates on. Benchmarks present on only one side are collected into a
+warning list at the end of the output; by default they never fail the run —
+a renamed or newly added benchmark needs a baseline refresh, not a red
+build — but under --strict they do, which is how CI catches a drifted
+baseline instead of silently gating on the intersection.
 
 Stdlib only — no third-party dependencies.
 """
@@ -52,6 +54,12 @@ def main(argv):
         default=0.25,
         help="allowed relative slowdown per benchmark (default 0.25 = +25%%)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on benchmarks present on only one side (baseline drift) "
+        "in addition to regressions",
+    )
     args = parser.parse_args(argv)
 
     base = load_benchmarks(args.baseline)
@@ -75,6 +83,21 @@ def main(argv):
         )
     for name in sorted(set(fresh) - set(base)):
         print(f"{name:<{width}}  {'NEW':>12}  {fresh[name]:>12.0f}")
+
+    one_sided = sorted(set(base) ^ set(fresh))
+    if one_sided:
+        print("\nwarning: benchmarks present on only one side:")
+        for name in one_sided:
+            side = "baseline only" if name in base else "fresh only"
+            print(f"  {name} ({side})")
+        print("  (refresh the checked-in baseline to resolve)")
+    if args.strict and one_sided:
+        print(
+            f"\n--strict: {len(one_sided)} one-sided benchmark name(s); "
+            "the baseline no longer matches the suite.",
+            file=sys.stderr,
+        )
+        return 1
 
     if regressions:
         print(

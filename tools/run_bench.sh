@@ -12,6 +12,7 @@
 #   cache      bench_cache        -> BENCH_cache.json
 #   obs        bench_obs          -> BENCH_obs.json
 #   scaling    bench_scaling      -> BENCH_scaling.json
+#   ladder     bench_ladder       -> BENCH_ladder.json
 #
 # e.g.  tools/run_bench.sh engine build-release --benchmark_filter=BM_DecisionMapSearch
 #       tools/run_bench.sh batch build-release --benchmark_filter=BM_ZooBatch
@@ -36,7 +37,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 suite="engine"
 case "${1:-}" in
-  engine|substrate|batch|cache|obs|scaling)
+  engine|substrate|batch|cache|obs|scaling|ladder)
     suite="$1"
     shift
     ;;
@@ -51,6 +52,7 @@ case "$suite" in
   cache) target="bench_cache" ;;
   obs) target="bench_obs" ;;
   scaling) target="bench_scaling" ;;
+  ladder) target="bench_ladder" ;;
 esac
 
 bench="$build_dir/bench/$target"
