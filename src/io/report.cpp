@@ -1,9 +1,11 @@
 #include "io/report.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace trichroma::io {
 
@@ -18,6 +20,26 @@ std::string num(double value) {
 }
 
 std::string bool_str(bool b) { return b ? "true" : "false"; }
+
+std::string u64_array_inline(const std::vector<std::uint64_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += (i == 0 ? "" : ", ");
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// Single-line rendering of a count-valued histogram (trimmed base-2
+// buckets, see obs::Histogram::bucket_index). One line so diff noise from a
+// distribution change stays one line per histogram.
+std::string hist_inline(std::uint64_t count, std::uint64_t sum,
+                        const std::vector<std::uint64_t>& buckets) {
+  return "{ \"count\": " + std::to_string(count) +
+         ", \"sum\": " + std::to_string(sum) +
+         ", \"buckets\": " + u64_array_inline(buckets) + " }";
+}
 
 // Tiny builder so the emitter stays declarative: fields are appended in
 // order, commas and indentation handled in one place.
@@ -92,6 +114,14 @@ void emit_engine(Builder& b, const EngineReport& e,
   b.open("domain_overflow", '[');
   for (const std::string& c : e.overflowed) b.field("", quote(c));
   b.close(']');
+  // v9: deterministic probe distributions. domain_sizes is the base-2
+  // bucketed distribution of CSP candidate-domain sizes over every rung
+  // this engine searched; level_facets[r] is the top-dimensional facet
+  // count of Ch^r for each ladder level it climbed. Both are pure
+  // functions of the task under the "exact"/"ladder" schedules.
+  b.field("domain_sizes", hist_inline(e.domain_size_count, e.domain_size_sum,
+                                      e.domain_size_hist));
+  b.field("level_facets", u64_array_inline(e.level_facets));
   b.field("wall_ms", num(options.redact_timings ? 0.0 : e.wall_ms));
   b.close('}');
 }
@@ -104,7 +134,12 @@ void emit_engine(Builder& b, const EngineReport& e,
 // v8: metrics gained the "ladder" sub-object (parallel-build telemetry:
 // chunks stamped, merge wall time, Δ-population stripe contention). Like
 // "executor" it is scheduling-dependent and zeroed under redact_timings.
-const char* report_schema() { return "trichroma.pipeline-report/8"; }
+// v9: per-run attribution. Engines gained the deterministic "domain_sizes"
+// histogram and "level_facets" ladder profile; a top-level "run" object
+// carries the phase latency breakdown (zeroed under redact_timings), the
+// cache tier + seeded levels (on a `"cache":` line, see the grep contract),
+// and deterministic rollups of the new per-engine distributions.
+const char* report_schema() { return "trichroma.pipeline-report/9"; }
 
 std::string to_json(const PipelineReport& report,
                     const ReportJsonOptions& options) {
@@ -153,6 +188,48 @@ std::string to_json(const PipelineReport& report,
                                         : "not-computed"));
   b.field("total_wall_ms",
           num(options.redact_timings ? 0.0 : report.total_wall_ms));
+
+  // Schema v9 "run": per-run attribution. "phases" is wall-clock (zeroed
+  // under redact_timings, phases a run never entered stay 0); "cache" is
+  // tier + seeded levels on a single `"cache":` line (grep contract, see
+  // the top-level field); the rollups are sums/concatenations of the
+  // deterministic per-engine distributions, byte-identical at every
+  // --jobs/--threads combination under the "exact"/"ladder" schedules.
+  b.open("run", '{');
+  b.open("phases", '{');
+  b.field("consult_ms",
+          num(options.redact_timings ? 0.0 : report.phase_consult_ms));
+  b.field("engines_ms",
+          num(options.redact_timings ? 0.0 : report.phase_engines_ms));
+  b.field("publish_ms",
+          num(options.redact_timings ? 0.0 : report.phase_publish_ms));
+  b.close('}');
+  b.field("cache", "{ \"tier\": " + quote(report.cache) +
+                       ", \"seeded_levels\": " +
+                       std::to_string(report.cache_seeded_levels) + " }");
+  std::uint64_t ds_count = 0, ds_sum = 0;
+  std::vector<std::uint64_t> ds_buckets;
+  const std::vector<std::uint64_t>* ladder_levels = nullptr;
+  for (const EngineReport& e : report.engines) {
+    ds_count += e.domain_size_count;
+    ds_sum += e.domain_size_sum;
+    if (e.domain_size_hist.size() > ds_buckets.size()) {
+      ds_buckets.resize(e.domain_size_hist.size(), 0);
+    }
+    for (std::size_t i = 0; i < e.domain_size_hist.size(); ++i) {
+      ds_buckets[i] += e.domain_size_hist[i];
+    }
+    // First engine in canonical order that climbed the ladder (the
+    // chromatic probe under the standard schedules).
+    if (ladder_levels == nullptr && !e.level_facets.empty()) {
+      ladder_levels = &e.level_facets;
+    }
+  }
+  b.field("domain_sizes", hist_inline(ds_count, ds_sum, ds_buckets));
+  b.field("ladder_levels",
+          u64_array_inline(ladder_levels ? *ladder_levels
+                                         : std::vector<std::uint64_t>{}));
+  b.close('}');
 
   // Schema v4 "metrics": rollups computed here from the per-engine fields —
   // they are sums of deterministic quantities, so they stay byte-identical

@@ -2,8 +2,17 @@
 // Structured JSON rendering of a pipeline run (solver/pipeline.h).
 //
 // The schema is versioned: every document carries
-//   "schema": "trichroma.pipeline-report/8"
-// and consumers should dispatch on it. Version 6 added the verdict-store
+//   "schema": "trichroma.pipeline-report/9"
+// and consumers should dispatch on it. Version 9 added per-run
+// attribution (Telemetry v2): each engine carries its deterministic
+// "domain_sizes" histogram (base-2 bucketed CSP candidate-domain sizes,
+// rendered `{ "count", "sum", "buckets": [..] }` on one line) and
+// "level_facets" ladder profile (top-dimensional facet count of Ch^r per
+// level climbed), and a top-level "run" object carries the phase latency
+// breakdown ("phases": consult/engines/publish wall clocks, zeroed under
+// redact_timings), the cache tier + seeded levels (a single `"cache":`
+// line, same grep contract as below), and deterministic rollups of the
+// per-engine distributions. Version 6 added the verdict-store
 // surface: a top-level "cache": "off" | "hit" | "miss" marker and a
 // "cache" rollup inside "metrics" ({ "hits", "misses", "store_bytes" }).
 // Both render on single lines containing the token `"cache":` — and no
@@ -28,7 +37,7 @@
 // indistinguishable from a lane that never ran:
 //
 //   {
-//     "schema": "trichroma.pipeline-report/8",
+//     "schema": "trichroma.pipeline-report/9",
 //     "task": { "name", "num_processes", "input_facets", "output_facets" },
 //     "options": { "max_radius", "node_cap", "use_characterization",
 //                  "reuse_subdivisions", "reuse_images" },
@@ -43,6 +52,17 @@
 //         // covers both the disabled route and a lane cancelled by the
 //         // winning probe at threads >= 2
 //     "total_wall_ms": number,
+//     "run": {
+//       "phases": { "consult_ms", "engines_ms", "publish_ms" },
+//           // wall clocks, zeroed under redact_timings; phases a run
+//           // never entered stay 0 (e.g. engines on a cache hit)
+//       "cache": { "tier": "off"|"hit"|"artifacts"|"miss",
+//                  "seeded_levels": int },   // one `"cache":` line
+//       "domain_sizes": { "count", "sum", "buckets": [..] },
+//           // merged over engines; deterministic
+//       "ladder_levels": [ int ]
+//           // Ch^r top-facet counts from the first engine that climbed
+//     },
 //     "metrics": {
 //       "nodes_explored_total": int,   // sum over engines (deterministic)
 //       "image_cache": { "hits", "misses" },   // sums over engines
@@ -65,6 +85,8 @@
 //       "edge_masks": { "hits", "misses" },
 //       "capped": [ string ],
 //       "domain_overflow": [ string ],
+//       "domain_sizes": { "count", "sum", "buckets": [..] },  // one line
+//       "level_facets": [ int ],                              // one line
 //       "wall_ms": number
 //     } ]
 //   }

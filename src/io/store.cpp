@@ -11,6 +11,7 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "topology/compiled.h"
 
 #ifndef _WIN32
@@ -307,6 +308,20 @@ std::string serialize_verdict_record(const PipelineReport& report,
     for (std::size_t j = 0; j < e.overflowed.size(); ++j) {
       kv(out, p + "overflowed." + std::to_string(j), e.overflowed[j]);
     }
+    // Record format v3: the deterministic probe distributions. They feed
+    // the report's "run" rollups, so replayed hits must carry byte-equal
+    // values or warm runs would diverge from cold ones.
+    kv_u(out, p + "domain_size_count", e.domain_size_count);
+    kv_u(out, p + "domain_size_sum", e.domain_size_sum);
+    kv_u(out, p + "domain_size_hist", e.domain_size_hist.size());
+    for (std::size_t j = 0; j < e.domain_size_hist.size(); ++j) {
+      kv_u(out, p + "domain_size_hist." + std::to_string(j),
+           e.domain_size_hist[j]);
+    }
+    kv_u(out, p + "level_facets", e.level_facets.size());
+    for (std::size_t j = 0; j < e.level_facets.size(); ++j) {
+      kv_u(out, p + "level_facets." + std::to_string(j), e.level_facets[j]);
+    }
   }
   return out;
 }
@@ -367,6 +382,19 @@ bool parse_verdict_record(const std::string& body, PipelineReport* report,
     if (!r.ok || overflowed > 1024) return false;
     for (std::size_t j = 0; j < overflowed; ++j) {
       e.overflowed.push_back(r.str(p + "overflowed." + std::to_string(j)));
+    }
+    e.domain_size_count = r.u64(p + "domain_size_count");
+    e.domain_size_sum = r.u64(p + "domain_size_sum");
+    const std::uint64_t hist_buckets = r.u64(p + "domain_size_hist");
+    if (!r.ok || hist_buckets > 64) return false;
+    for (std::size_t j = 0; j < hist_buckets; ++j) {
+      e.domain_size_hist.push_back(
+          r.u64(p + "domain_size_hist." + std::to_string(j)));
+    }
+    const std::uint64_t level_facets = r.u64(p + "level_facets");
+    if (!r.ok || level_facets > 64) return false;
+    for (std::size_t j = 0; j < level_facets; ++j) {
+      e.level_facets.push_back(r.u64(p + "level_facets." + std::to_string(j)));
     }
     e.wall_ms = 0.0;  // wall clocks are never stored
   }
@@ -431,6 +459,9 @@ bool VerdictStore::write_file(const std::string& dir,
       return false;
     }
     bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
+    static obs::Histogram& write_bytes =
+        obs::MetricsRegistry::global().histogram("cache.store.write_bytes");
+    write_bytes.record(contents.size());
     return true;
   } catch (...) {
     return false;
@@ -447,6 +478,9 @@ bool read_file(const std::string& path, std::string* out) {
     buf << in.rdbuf();
     if (!in && !in.eof()) return false;
     *out = std::move(buf).str();
+    static obs::Histogram& read_bytes =
+        obs::MetricsRegistry::global().histogram("cache.store.read_bytes");
+    read_bytes.record(out->size());
     return true;
   } catch (...) {
     return false;

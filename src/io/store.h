@@ -52,7 +52,7 @@ inline constexpr char kStoreSchema[] = "trichroma.store/1";
 /// Verdict-record body format version (inside the container). v2 added the
 /// budget knobs the record was produced under, so a sibling scan can tell
 /// which stored run differs from the live one in `--max-radius` alone.
-inline constexpr char kVerdictRecordSchema[] = "trichroma.verdict-record/2";
+inline constexpr char kVerdictRecordSchema[] = "trichroma.verdict-record/3";
 
 /// Digest of the budget fields + resolved schedule a verdict depends on.
 /// 16 hex characters (FNV-1a 64 over a canonical rendering).

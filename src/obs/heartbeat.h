@@ -1,0 +1,131 @@
+#pragma once
+// Long-run liveness snapshots: a background thread that periodically renders
+// a JSON document and publishes it with a rename-atomic write, so an
+// hour-long batch can be monitored mid-flight (`tail`/`jq` the file) and a
+// SIGKILLed run still leaves a valid, parseable snapshot — readers can never
+// observe a torn file, only the previous complete one.
+//
+// Two layers:
+//   * PeriodicSnapshotWriter — the generic interval thread + atomic
+//     publication. The body callback runs on the writer thread; it must be
+//     safe to call concurrently with the instrumented workload (the registry
+//     snapshots are, being relaxed-atomic reads under the registry mutex).
+//     Also reused for `batch --trace-dir` metrics.json, which previously
+//     appeared only at the end of the run.
+//   * HeartbeatWriter — the batch heartbeat body: schema'd JSON with a
+//     monotonic sequence number, uptime, resident-set size, caller-supplied
+//     progress (tasks done / total) and the full metrics registry snapshot.
+//
+// Heartbeat document (schema trichroma.heartbeat/1):
+//   {
+//     "schema": "trichroma.heartbeat/1",
+//     "seq": 3,                // ticks written, 1-based; final flush included
+//     "uptime_ms": 12345,
+//     "rss_bytes": 104857600,  // 0 where /proc/self/statm is unavailable
+//     "progress": { "done": 17, "total": 21 },
+//     "metrics": { ...MetricsRegistry::to_json() document, inlined... }
+//   }
+//
+// Nothing here is deterministic and nothing feeds back into reports; the
+// obs layer stays dependency-free (no io/, no solver/).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace trichroma::obs {
+
+/// Writes `content` to `path` atomically: the bytes land in a sibling
+/// temporary file (".tmp-<pid>-<unique>") which is then renamed over `path`.
+/// rename(2) within a directory is atomic, so readers see either the old
+/// complete file or the new one, never a prefix. Throws std::runtime_error
+/// on I/O failure.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Resident-set size of the calling process in bytes, read from
+/// /proc/self/statm; 0 on platforms without it.
+std::uint64_t resident_set_bytes();
+
+/// Interval thread that publishes `body()` to `path` atomically every
+/// `interval_s` seconds, plus one final flush from stop()/the destructor —
+/// so the file always reflects the end state of a run that finished, and
+/// the last completed tick of one that was killed.
+class PeriodicSnapshotWriter {
+ public:
+  /// Starts the thread immediately; the first write happens after one
+  /// interval (call write_now() for an eager initial snapshot). `interval_s`
+  /// is clamped to at least 1ms.
+  PeriodicSnapshotWriter(std::string path, double interval_s,
+                         std::function<std::string()> body);
+  ~PeriodicSnapshotWriter();
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Renders and publishes one snapshot on the calling thread.
+  void write_now();
+
+  /// Stops the interval thread and publishes one final snapshot.
+  /// Idempotent; also run by the destructor. Write failures during ticks
+  /// and the final flush are swallowed (a heartbeat must never take down
+  /// the run it is monitoring).
+  void stop();
+
+  /// Ticks successfully published so far (including write_now calls).
+  std::uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+
+  const std::string path_;
+  const std::chrono::nanoseconds interval_;
+  const std::function<std::string()> body_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> writes_{0};
+  std::thread thread_;
+};
+
+/// Caller-supplied progress for a heartbeat: tasks completed vs. scheduled.
+struct HeartbeatProgress {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+};
+
+/// Renders one heartbeat document (see the header comment) from the given
+/// registry. Split out from HeartbeatWriter so tests can exercise the body
+/// against a private registry, and so forked children can render without
+/// touching the parent's (possibly mid-lock) global registry.
+std::string render_heartbeat(std::uint64_t seq, std::uint64_t uptime_ms,
+                             const HeartbeatProgress& progress,
+                             const MetricsRegistry& registry);
+
+/// The batch heartbeat: a PeriodicSnapshotWriter whose body is
+/// render_heartbeat over the global registry plus a caller-owned progress
+/// callback (read on the writer thread — return values from atomics).
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter(std::string path, double interval_s,
+                  std::function<HeartbeatProgress()> progress,
+                  const MetricsRegistry& registry = MetricsRegistry::global());
+
+  /// Final flush + thread join; idempotent.
+  void stop() { writer_.stop(); }
+  std::uint64_t writes() const { return writer_.writes(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> seq_{0};
+  PeriodicSnapshotWriter writer_;
+};
+
+}  // namespace trichroma::obs

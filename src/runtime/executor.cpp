@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <utility>
@@ -111,8 +112,14 @@ struct GroupCore {
                        std::function<void()> fn) {
     if (!core->token.stop_requested()) {
       // Spans the job body whether a pool worker won the ticket or a
-      // helping waiter drained it inline — both are job executions.
+      // helping waiter drained it inline — both are job executions. The
+      // latency histogram covers the same extent (pool jobs are chunky —
+      // ladder chunks, search prefixes — so two clock reads per job stay
+      // far inside the obs overhead contract; see bench_obs).
       TRI_SPAN("executor/job");
+      static obs::Histogram& latency =
+          obs::MetricsRegistry::global().histogram("executor.job_latency_ns");
+      const auto job_start = std::chrono::steady_clock::now();
       try {
         fn();
       } catch (...) {
@@ -124,6 +131,10 @@ struct GroupCore {
         }
         core->token.request_stop();
       }
+      latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - job_start)
+              .count()));
     }
     finish_one(core.get());
   }
@@ -369,6 +380,11 @@ void Executor::post_ticket(Ticket core) {
     return;
   }
   raise_max(max_queue_depth_, depth);
+  // Point-in-time depth of whichever queue took the ticket; last write wins,
+  // which is the right semantics for a sampled gauge.
+  static obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("executor.queue_depth");
+  queue_depth.set(static_cast<std::int64_t>(depth));
   if (obs::trace_enabled()) {
     char name[32];
     if (self >= 0) {

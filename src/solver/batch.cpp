@@ -3,12 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/executor.h"
@@ -114,24 +116,44 @@ BatchResult run_batch(const BatchOptions& options) {
     }
   }
 
+  // Heartbeat: liveness snapshots for long runs. `completed` counts slots
+  // whose work is finished — dup slots count as soon as the drive loop skips
+  // them (their replay is a post-join copy, not work). The writer spans the
+  // whole drive phase and flushes a final snapshot when reset below.
+  std::atomic<std::uint64_t> completed{0};
+  std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+  if (!options.heartbeat_file.empty()) {
+    heartbeat = std::make_unique<obs::HeartbeatWriter>(
+        options.heartbeat_file, options.heartbeat_interval_s,
+        [&completed, total = selected.size()] {
+          return obs::HeartbeatProgress{
+              completed.load(std::memory_order_relaxed),
+              static_cast<std::uint64_t>(total)};
+        });
+  }
+
   // One self-scheduling loop per driver: `jobs - 1` on the executor plus the
   // caller, so at most `jobs` pipelines run at once while idle workers still
   // steal the searches' inner prefix jobs. Tasks are built inside the loop —
   // each owns a fresh pool, so the builds are race-free — and each writes
   // only its own slot.
   std::atomic<std::size_t> next{0};
-  auto drive = [&selected, &per_task, &out, &next, &dup_of] {
+  auto drive = [&selected, &per_task, &out, &next, &dup_of, &completed] {
     static obs::Counter& tasks_done =
         obs::MetricsRegistry::global().counter("batch.tasks");
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= selected.size()) return;
-      if (dup_of[i] >= 0) continue;  // replayed from its twin after the join
+      if (dup_of[i] >= 0) {  // replayed from its twin after the join
+        completed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       TRI_SPAN("batch/", selected[i]->name);
       const Task task = selected[i]->build();
       out.tasks[i].name = selected[i]->name;
       out.tasks[i].report = run_pipeline(task, per_task).report;
       tasks_done.add();
+      completed.fetch_add(1, std::memory_order_relaxed);
     }
   };
   if (jobs > 1 && selected.size() > 1) {
@@ -167,10 +189,20 @@ BatchResult run_batch(const BatchOptions& options) {
     replay.cache_seeded_levels = 0;
     replay.cache_store_bytes = 0;
     replay.total_wall_ms = 0.0;
+    // A twin replay did no consult/engine/publish work of its own; zero the
+    // phase clocks like total_wall_ms (they are redacted in report files
+    // anyway, but keep the in-memory report honest).
+    replay.phase_consult_ms = 0.0;
+    replay.phase_engines_ms = 0.0;
+    replay.phase_publish_ms = 0.0;
     out.tasks[i].name = selected[i]->name;
     out.tasks[i].report = std::move(replay);
     obs::MetricsRegistry::global().counter("cache.hit").add();
   }
+
+  // Final heartbeat flush (progress now reads done == total) and thread
+  // join before the result is returned.
+  heartbeat.reset();
 
   for (const BatchTaskResult& t : out.tasks) {
     out.unknown += t.report.verdict == Verdict::Unknown ? 1 : 0;

@@ -48,6 +48,13 @@ struct BatchOptions {
   /// Restrict to these catalog names (empty = the whole catalog). Unknown
   /// names throw std::invalid_argument.
   std::vector<std::string> only;
+  /// When non-empty, a HeartbeatWriter publishes rename-atomic liveness
+  /// snapshots (schema trichroma.heartbeat/1: progress over the selected
+  /// tasks, RSS, metrics registry) to this path every heartbeat_interval_s
+  /// seconds for the duration of the run, plus a final flush. Pure
+  /// observability — reports are unaffected.
+  std::string heartbeat_file;
+  double heartbeat_interval_s = 5.0;
 };
 
 struct BatchTaskResult {

@@ -1,5 +1,6 @@
 #include "solver/engine.h"
 
+#include <array>
 #include <chrono>
 #include <utility>
 
@@ -328,6 +329,10 @@ void ProbeEngine::execute(const EngineBudget& budget,
   }
 
   report.status = EngineStatus::Inconclusive;
+  // Deterministic shape telemetry, accumulated across rungs: the merged
+  // CSP domain-size histogram and the per-level facet counts (both pure
+  // functions of task + budget; see EngineReport).
+  std::array<std::uint64_t, obs::Histogram::kBuckets> domain_hist{};
   for (int r = 0; r <= budget.max_radius; ++r) {
     if (token.stop_requested()) {
       report.status = EngineStatus::Cancelled;
@@ -340,9 +345,17 @@ void ProbeEngine::execute(const EngineBudget& budget,
             : std::make_shared<const SubdividedComplex>(chromatic_subdivision(
                   *task_.pool, task_.input, r, build_threads));
     computed_levels_.push_back(domain);
+    const int top = domain->complex.dimension();
+    report.level_facets.push_back(
+        top < 0 ? 0 : static_cast<std::uint64_t>(domain->complex.count(top)));
     last_ = find_decision_map(*task_.pool, *domain, task_, options);
     report.radius_reached = r;
     report.nodes_explored += last_.nodes_explored;
+    for (std::size_t i = 0; i < last_.domain_size_hist.size(); ++i) {
+      domain_hist[i] += last_.domain_size_hist[i];
+    }
+    report.domain_size_count += last_.domain_size_count;
+    report.domain_size_sum += last_.domain_size_sum;
     if (last_.found) {
       found_ = true;
       found_radius_ = r;
@@ -364,6 +377,13 @@ void ProbeEngine::execute(const EngineBudget& budget,
     } else if (!last_.exhausted) {
       report.capped.push_back(capped_label(kind_) + std::to_string(r));
     }
+  }
+  if (report.domain_size_count != 0) {
+    std::size_t buckets = obs::Histogram::kBuckets;
+    while (buckets > 1 && domain_hist[buckets - 1] == 0) --buckets;
+    report.domain_size_hist.assign(domain_hist.begin(),
+                                   domain_hist.begin() +
+                                       static_cast<std::ptrdiff_t>(buckets));
   }
   report.image_cache_hits = images.hits();
   report.image_cache_misses = images.misses();

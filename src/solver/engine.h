@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,21 @@ struct EngineReport {
   /// (MapSearchResult::domain_overflow) — a representation limit, reported
   /// separately from budget caps so the Unknown reason names it.
   std::vector<std::string> overflowed;
+  /// Probe engines only (empty elsewhere): the CSP candidate-list-size
+  /// distribution summed over every rung climbed — counts per base-2 log
+  /// bucket (obs::Histogram::bucket_index boundaries, trimmed after the
+  /// last non-zero bucket) with the matching sample count and value sum.
+  /// Pure functions of task + budget, identical at every thread count, so
+  /// they ride in the deterministic report slice (schema v9) and the
+  /// verdict record (v3).
+  std::vector<std::uint64_t> domain_size_hist;
+  std::uint64_t domain_size_count = 0;
+  std::uint64_t domain_size_sum = 0;
+  /// Probe engines only: facets of the Ch^r probe domain per rung climbed
+  /// (index = radius). Checkable against Kozlov's chromatic-subdivision
+  /// growth rates — a pure 2-dimensional level has 13× its predecessor's
+  /// facets. Deterministic, same contract as domain_size_hist.
+  std::vector<std::uint64_t> level_facets;
   double wall_ms = 0.0;
 };
 

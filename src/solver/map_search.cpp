@@ -52,6 +52,14 @@ obs::Counter& tri_miss_counter() {
       obs::MetricsRegistry::global().counter("cache.tri_tables.misses");
   return c;
 }
+// Candidate-pool sizes of compiled Δ-images, one record per charged miss
+// (cold compiles and first warm touches — the same accounting the hit/miss
+// counters use, so the distribution is seeding- and thread-independent).
+obs::Histogram& image_vertices_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("cache.delta.image_vertices");
+  return h;
+}
 // Binary rows proven unable to prune, skipped before the row load. Only
 // flushed from the deterministic accounting sites (sequential runs, the
 // prefix expansion, and the canonical walk), never from racing phase-2
@@ -100,6 +108,7 @@ const CompiledComplex* DeltaImageCache::image_of(const CarrierMap& delta,
         warm_.erase(warm);
         ++misses_;
         image_miss_counter().add();
+        image_vertices_histogram().record(it->second->num_vertices());
         return it->second.get();
       }
     }
@@ -111,6 +120,7 @@ const CompiledComplex* DeltaImageCache::image_of(const CarrierMap& delta,
   image_miss_counter().add();
   auto owned = CompiledComplex::compile(delta.image_complex(carrier));
   const CompiledComplex* ptr = owned.get();
+  image_vertices_histogram().record(ptr->num_vertices());
   cache_.emplace(carrier, std::move(owned));
   return ptr;
 }
@@ -436,6 +446,14 @@ struct Csp {
   bool trivially_unsat = false;
   bool domain_overflow = false;  // some domain wider than kMaxDomain
 
+  // Per-variable candidate-count tally, bucketed like obs::Histogram.
+  // Accumulated locally during the (single-threaded, deterministic) build
+  // and flushed to the registry once per CSP — the hot loop never touches
+  // an atomic — then copied into MapSearchResult for the report rollups.
+  std::array<std::uint64_t, obs::Histogram::kBuckets> domain_hist{};
+  std::uint64_t domain_hist_count = 0;
+  std::uint64_t domain_hist_sum = 0;
+
   VertexId value(std::size_t var, std::size_t j) const {
     return values_flat[values_off[var] + j];
   }
@@ -513,6 +531,9 @@ Csp build_csp(const VertexPool& pool, const SubdividedComplex& domain,
     }
     values_off[i + 1] = static_cast<std::uint32_t>(values_scratch.size());
     full_domain[i] = count == kMaxDomain ? ~Mask{0} : (Mask{1} << count) - 1;
+    ++csp.domain_hist[obs::Histogram::bucket_index(count)];
+    ++csp.domain_hist_count;
+    csp.domain_hist_sum += count;
   }
   VertexId* values_flat =
       arena_array<VertexId>(arena, values_scratch.size(), bytes);
@@ -1144,6 +1165,12 @@ void run_phase2(const Csp& csp, const MapSearchOptions& options, int threads,
       job.nodes = solver.total_nodes;
       job.solved = solved;
       job.fastpath_skips = solver.fastpath_skips;
+      // Search-effort distribution: how unevenly the DFS prefixes split the
+      // tree. Observability only (aborted jobs re-run in phase 3 are not
+      // re-recorded); one record per completed job.
+      static obs::Histogram& prefix_nodes =
+          obs::MetricsRegistry::global().histogram("search.nodes_per_prefix");
+      prefix_nodes.record(job.nodes);
       if (solved) {
         job.assignment.assign(solver.assigned, solver.assigned + csp.n);
         std::size_t current = shared.best.load(std::memory_order_relaxed);
@@ -1292,6 +1319,19 @@ MapSearchResult find_decision_map(const VertexPool& pool,
   DeltaImageCache& images =
       options.image_cache != nullptr ? *options.image_cache : local_images;
   const Csp csp = build_csp(pool, domain, task, options.chromatic, images);
+  if (csp.domain_hist_count != 0) {
+    static obs::Histogram& domain_sizes =
+        obs::MetricsRegistry::global().histogram("search.csp.domain_size");
+    domain_sizes.merge(csp.domain_hist, csp.domain_hist_count,
+                       csp.domain_hist_sum);
+    std::size_t buckets = obs::Histogram::kBuckets;
+    while (buckets > 1 && csp.domain_hist[buckets - 1] == 0) --buckets;
+    result.domain_size_hist.assign(csp.domain_hist.begin(),
+                                   csp.domain_hist.begin() +
+                                       static_cast<std::ptrdiff_t>(buckets));
+    result.domain_size_count = csp.domain_hist_count;
+    result.domain_size_sum = csp.domain_hist_sum;
+  }
   if (csp.n == 0) {
     result.found = true;
     return result;

@@ -234,6 +234,16 @@ struct MapSearchResult {
   VertexMap map;           ///< the decision map, when found
   /// Backtracking nodes visited, aggregated across all workers.
   std::size_t nodes_explored = 0;
+  /// Deterministic distribution of the CSP's per-variable candidate-list
+  /// sizes: counts per base-2 log bucket (obs::Histogram::bucket_index
+  /// boundaries — bucket i holds sizes <= 2^i), trimmed after the last
+  /// non-zero bucket, plus the matching sample count and size sum. A pure
+  /// function of the instance, identical at every thread count, so engines
+  /// fold it into the deterministic report fields. Empty when the build
+  /// stopped before gathering domains (cancelled / empty complex).
+  std::vector<std::uint64_t> domain_size_hist;
+  std::uint64_t domain_size_count = 0;
+  std::uint64_t domain_size_sum = 0;
 };
 
 /// Resolves a `threads` request the way every search engine does:

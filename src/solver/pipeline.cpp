@@ -224,6 +224,19 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
   const Clock::time_point start = Clock::now();
   PipelineResult out;
   PipelineReport& report = out.report;
+  // Latency distributions across runs (observability only — wall clocks
+  // never enter the deterministic report slice). Recorded on every exit.
+  const auto record_latencies = [&report] {
+    static obs::Histogram& wall =
+        obs::MetricsRegistry::global().histogram("pipeline.wall_us");
+    wall.record(static_cast<std::uint64_t>(report.total_wall_ms * 1000.0));
+    static obs::Histogram& engine_wall =
+        obs::MetricsRegistry::global().histogram("pipeline.engine_wall_us");
+    for (const EngineReport& e : report.engines) {
+      if (e.status != EngineStatus::Skipped)
+        engine_wall.record(static_cast<std::uint64_t>(e.wall_ms * 1000.0));
+    }
+  };
   report.task_name = task.name;
   report.num_processes = task.num_processes;
   report.input_facets = facet_count(task.input);
@@ -274,7 +287,9 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
         report.cache = "hit";
         report.cache_hits = 1;
         obs::MetricsRegistry::global().counter("cache.hit").add();
+        report.phase_consult_ms = ms_since(start);
         report.total_wall_ms = ms_since(start);
+        record_latencies();
         return out;
       }
       report.cache_misses = 1;
@@ -332,7 +347,9 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
           obs::MetricsRegistry::global()
               .counter("cache.store_bytes")
               .add(store->bytes_written());
+          report.phase_consult_ms = ms_since(start);
           report.total_wall_ms = ms_since(start);
+          record_latencies();
           return out;
         }
       }
@@ -367,6 +384,8 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
       report.cache_misses = 0;
     }
   }
+  report.phase_consult_ms = ms_since(start);
+  const Clock::time_point engines_start = Clock::now();
 
   // Publishes a conclusive verdict plus reusable artifacts. Best effort: a
   // failed write leaves the report's store_bytes at whatever landed. Only
@@ -437,9 +456,13 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
       report.verdict = Verdict::Unknown;
       report.reason = r.detail;
     }
+    report.phase_engines_ms = ms_since(engines_start);
+    const Clock::time_point publish_start = Clock::now();
     publish(nullptr);
+    report.phase_publish_ms = ms_since(publish_start);
     report.total_wall_ms = ms_since(start);
     sample_exec_stats();
+    record_latencies();
     return out;
   }
 
@@ -561,9 +584,13 @@ PipelineResult run_pipeline(const Task& task, const SolvabilityOptions& options)
     obs::MetricsRegistry::global().counter("cache.artifacts").add();
   }
 
+  report.phase_engines_ms = ms_since(engines_start);
+  const Clock::time_point publish_start = Clock::now();
   publish(&chromatic);
+  report.phase_publish_ms = ms_since(publish_start);
   report.total_wall_ms = ms_since(start);
   sample_exec_stats();
+  record_latencies();
   return out;
 }
 

@@ -76,7 +76,7 @@ struct SolvabilityOptions {
 };
 
 /// The whole pipeline run, serializable via io::to_json (schema
-/// trichroma.pipeline-report/8).
+/// trichroma.pipeline-report/9).
 struct PipelineReport {
   std::string task_name;
   int num_processes = 3;
@@ -101,6 +101,14 @@ struct PipelineReport {
   /// "skipped" or "raced out".
   bool characterization_computed = false;
   double total_wall_ms = 0.0;
+  /// Phase latency breakdown for the run record (schema v9's "run" object):
+  /// store consult + warm-start seeding, engine execution, publication.
+  /// Wall-clock quantities — zeroed under redact_timings exactly like
+  /// total_wall_ms. Phases a run never entered stay 0 (e.g. engines on a
+  /// cache hit).
+  double phase_consult_ms = 0.0;
+  double phase_engines_ms = 0.0;
+  double phase_publish_ms = 0.0;
   /// Verdict-store outcome: "off" (no cache_dir), "hit" (replayed from the
   /// store — or from an isomorphic twin earlier in the same batch),
   /// "artifacts" (warm-started on a budget-only miss: either a sibling

@@ -524,8 +524,17 @@ SubdividedComplex subdivide_once_parallel(VertexPool& pool,
 SubdividedComplex subdivide_once(VertexPool& pool, const SubdividedComplex& prev,
                                  int threads) {
   TRI_SPAN("topology/subdivide_once");
-  if (threads <= 1) return subdivide_once_sequential(pool, prev);
-  return subdivide_once_parallel(pool, prev, threads);
+  SubdividedComplex out = threads <= 1 ? subdivide_once_sequential(pool, prev)
+                                       : subdivide_once_parallel(pool, prev, threads);
+  // Ch-level size distribution: one record per level actually built, at
+  // every thread count (the facet count is schedule-independent). Kozlov's
+  // growth rates make this checkable — a pure 2-dimensional level stamps 13
+  // facets per facet, so consecutive levels land ~log2(13) buckets apart.
+  static obs::Histogram& level_facets =
+      obs::MetricsRegistry::global().histogram("ladder.level_facets");
+  const int top = out.complex.dimension();
+  level_facets.record(top < 0 ? 0 : out.complex.count(top));
+  return out;
 }
 
 SubdividedComplex chromatic_subdivision(VertexPool& pool, const SimplicialComplex& base,

@@ -42,7 +42,7 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     options.threads = 1;
     const PipelineResult r = run_pipeline(build(), options);
     const std::string json = io::to_json(r.report);
-    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/8\""),
+    EXPECT_NE(json.find("\"schema\": \"trichroma.pipeline-report/9\""),
               std::string::npos);
     EXPECT_NE(json.find("\"verdict\":"), std::string::npos);
     // Schema v6/v7: the verdict-store marker and rollup, each on one line so
@@ -63,6 +63,20 @@ TEST(Report, SchemaFieldsPresentForEveryVerdictShape) {
     EXPECT_NE(json.find("\"ladder\": {"), std::string::npos);
     EXPECT_NE(json.find("\"parallel_chunks\":"), std::string::npos);
     EXPECT_NE(json.find("\"stripe_contention\":"), std::string::npos);
+    // Schema v9: per-run attribution. The "run" object (phases, cache tier
+    // on a `"cache":` line, deterministic rollups) and the per-engine
+    // distributions, each rendered on a single line.
+    EXPECT_NE(json.find("\"run\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"phases\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"consult_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"engines_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"publish_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"cache\": { \"tier\": \"off\", "
+                        "\"seeded_levels\": 0 }"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"domain_sizes\": { \"count\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ladder_levels\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"level_facets\": ["), std::string::npos);
     EXPECT_EQ(json.back(), '\n');
   }
 }

@@ -172,7 +172,7 @@ TEST(Store, VerdictRecordVersionMismatchIsAMiss) {
   const PipelineReport cold =
       run_pipeline(zoo::consensus_2(), SolvabilityOptions{}).report;
   std::string body = io::serialize_verdict_record(cold);
-  const auto pos = body.find("trichroma.verdict-record/2");
+  const auto pos = body.find("trichroma.verdict-record/3");
   ASSERT_NE(pos, std::string::npos);
   body.replace(pos, 26, "trichroma.verdict-record/9");
   PipelineReport parsed;

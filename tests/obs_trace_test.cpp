@@ -316,7 +316,7 @@ TEST(Metrics, ToJsonIsValidAndCarriesTheSchema) {
   registry.counter("cache.image.hits").add(7);
   const std::string json = registry.to_json();
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
-  EXPECT_NE(json.find("\"schema\": \"trichroma.metrics/1\""),
+  EXPECT_NE(json.find("\"schema\": \"trichroma.metrics/2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"cache.image.hits\": 7"), std::string::npos);
   // The empty registry renders as an empty counters object, still valid.

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) file, stdlib only.
+
+Usage: tools/prom_lint.py FILE [FILE...]
+
+Checks the subset of the format that trichroma's to_prometheus() emits:
+
+  * every sample line parses as  name{labels} value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*);
+  * every metric family is announced by a  # TYPE  line before its first
+    sample, with a known type (counter | gauge | histogram);
+  * no family is announced twice, and no metric name is emitted under
+    two different families;
+  * histogram families carry  _bucket / _sum / _count  series; bucket
+    `le` bounds are strictly increasing, cumulative counts are
+    monotonically non-decreasing, and the mandatory  le="+Inf"  bucket
+    is present and equals  _count.
+
+Exit status 0 when every file is clean, 1 otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>\S+)$")
+KNOWN_KINDS = ("counter", "gauge", "histogram")
+
+
+def parse_le(labels):
+    """Return the le="..." bound from a label body, or None."""
+    if not labels:
+        return None
+    m = re.search(r'le="([^"]*)"', labels)
+    return m.group(1) if m else None
+
+
+def lint_file(path):
+    errors = []
+
+    def err(lineno, message):
+        errors.append("%s:%d: %s" % (path, lineno, message))
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        return ["%s: unreadable: %s" % (path, exc)]
+
+    families = {}  # family name -> kind
+    histograms = {}  # family name -> {"buckets": [(le, value)], "sum": x, "count": x}
+    seen_samples = set()
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                if line.startswith("# TYPE"):
+                    err(lineno, "malformed # TYPE line: %r" % line)
+                continue  # HELP/comment lines are fine
+            name, kind = m.group("name"), m.group("kind")
+            if not NAME_RE.match(name):
+                err(lineno, "illegal metric name in # TYPE: %r" % name)
+            if kind not in KNOWN_KINDS:
+                err(lineno, "unknown metric type %r for %s" % (kind, name))
+            if name in families:
+                err(lineno, "duplicate # TYPE for %s" % name)
+            families[name] = kind
+            if kind == "histogram":
+                histograms[name] = {"buckets": [], "sum": None, "count": None}
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err(lineno, "unparseable sample line: %r" % line)
+            continue
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(lineno, "non-numeric value %r for %s" % (m.group("value"), name))
+            continue
+
+        # Resolve the family: histogram series use suffixed names.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and families.get(base) == "histogram":
+                family = base
+                break
+        if family not in families:
+            err(lineno, "sample %s has no preceding # TYPE line" % name)
+            continue
+
+        key = (name, m.group("labels") or "")
+        if key in seen_samples:
+            err(lineno, "duplicate sample %s{%s}" % key)
+        seen_samples.add(key)
+
+        if families[family] == "histogram":
+            hist = histograms[family]
+            if name == family + "_bucket":
+                le = parse_le(m.group("labels"))
+                if le is None:
+                    err(lineno, "%s_bucket sample without an le label" % family)
+                else:
+                    hist["buckets"].append((lineno, le, value))
+            elif name == family + "_sum":
+                hist["sum"] = value
+            elif name == family + "_count":
+                hist["count"] = value
+            else:
+                err(lineno, "histogram %s has stray series %s" % (family, name))
+
+    for family, hist in sorted(histograms.items()):
+        if hist["sum"] is None:
+            errors.append("%s: histogram %s is missing _sum" % (path, family))
+        if hist["count"] is None:
+            errors.append("%s: histogram %s is missing _count" % (path, family))
+        if not hist["buckets"]:
+            errors.append("%s: histogram %s has no _bucket series" % (path, family))
+            continue
+        prev_bound = None
+        prev_value = None
+        inf_value = None
+        for lineno, le, value in hist["buckets"]:
+            if le == "+Inf":
+                inf_value = value
+                bound = float("inf")
+            else:
+                try:
+                    bound = float(le)
+                except ValueError:
+                    err_line = "%s:%d: bad le bound %r in %s" % (path, lineno, le, family)
+                    errors.append(err_line)
+                    continue
+            if prev_bound is not None and not bound > prev_bound:
+                errors.append(
+                    "%s:%d: %s bucket bounds not increasing (le=%s after %s)"
+                    % (path, lineno, family, le, prev_bound)
+                )
+            if prev_value is not None and value < prev_value:
+                errors.append(
+                    "%s:%d: %s cumulative bucket counts decreased at le=%s"
+                    % (path, lineno, family, le)
+                )
+            prev_bound, prev_value = bound, value
+        if inf_value is None:
+            errors.append(
+                "%s: histogram %s is missing the mandatory le=\"+Inf\" bucket"
+                % (path, family)
+            )
+        elif hist["count"] is not None and inf_value != hist["count"]:
+            errors.append(
+                "%s: histogram %s le=\"+Inf\" bucket (%g) != _count (%g)"
+                % (path, family, inf_value, hist["count"])
+            )
+        if hist["buckets"][-1][1] != "+Inf":
+            errors.append(
+                "%s: histogram %s does not end on the le=\"+Inf\" bucket"
+                % (path, family)
+            )
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(lint_file(path))
+    for message in all_errors:
+        print(message, file=sys.stderr)
+    if all_errors:
+        print("prom_lint: %d problem(s)" % len(all_errors), file=sys.stderr)
+        return 1
+    print("prom_lint: %d file(s) clean" % (len(argv) - 1))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 //   trichroma dot <file> in|out     GraphViz rendering of a complex
 //   trichroma run <file> [seed]     synthesize a protocol and execute it
 //   trichroma cache stats|prune     inspect / evict the verdict store
+//   trichroma trace-stats <file>    per-span aggregates of a Chrome trace
 //   trichroma list                  list built-in demo tasks
 //   trichroma version               print version / schema / build type
 //
@@ -30,7 +31,18 @@
 // run (spans from the executor, map searches, pipeline lanes and topology
 // substrate) — open it in chrome://tracing or https://ui.perfetto.dev.
 // `batch --trace-dir DIR` does the same for a whole batch, writing
-// DIR/trace.json plus the counter totals as DIR/metrics.json.
+// DIR/trace.json plus the registry totals as DIR/metrics.json — the
+// metrics file is republished rename-atomically every second during the
+// run, so a killed batch still leaves a valid, near-current snapshot.
+// `trace-stats` turns such a timeline back into numbers: per-span
+// count/total/p50/p99 aggregates, the critical path of the slowest
+// pipeline run, and per-worker executor utilization.
+//
+// `decide --metrics FILE` / `batch --metrics FILE` export the metrics
+// registry (counters, gauges, histograms) in Prometheus text exposition
+// format; `batch --heartbeat-file F [--heartbeat-interval S]` publishes a
+// rename-atomic JSON liveness snapshot (progress, RSS, registry) every S
+// seconds (default 5) — `tail`/`jq` it to monitor an hour-long batch.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,8 +58,12 @@
 #include "io/task_format.h"
 #include <algorithm>
 
+#include <memory>
+
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_stats.h"
 #include "protocols/pipeline.h"
 #include "protocols/verify.h"
 #include "solver/batch.h"
@@ -91,6 +107,8 @@ int usage() {
                "  run <file> [seed]  synthesize and execute a protocol\n"
                "  cache stats        verdict-store size by kind (needs --cache-dir)\n"
                "  cache prune        evict oldest store entries down to --max-bytes\n"
+               "  trace-stats <file> aggregate a Chrome trace: per-span count/total/\n"
+               "                     p50/p99, critical path, worker utilization\n"
                "  version            print version, report schema and build type\n"
                "options:\n"
                "  --threads N        pipeline + search workers (default: hardware\n"
@@ -113,7 +131,14 @@ int usage() {
                "                     for every --jobs and --threads value)\n"
                "  --trace FILE       (decide/synth) write a Chrome trace-event\n"
                "                     timeline (chrome://tracing, Perfetto)\n"
-               "  --trace-dir DIR    (batch) write DIR/trace.json + DIR/metrics.json\n");
+               "  --trace-dir DIR    (batch) write DIR/trace.json + DIR/metrics.json\n"
+               "                     (metrics republished atomically every second)\n"
+               "  --metrics FILE     (decide/batch) write the metrics registry in\n"
+               "                     Prometheus text exposition format\n"
+               "  --heartbeat-file F (batch) publish a rename-atomic JSON liveness\n"
+               "                     snapshot (progress, RSS, metrics) during the run\n"
+               "  --heartbeat-interval S\n"
+               "                     (batch) heartbeat period in seconds (default 5)\n");
   return 2;
 }
 
@@ -125,6 +150,9 @@ struct CliOptions {
   std::string report_dir;          // batch
   std::string trace_path;          // decide/synth
   std::string trace_dir;           // batch
+  std::string metrics_path;        // decide/batch: Prometheus export
+  std::string heartbeat_file;      // batch
+  double heartbeat_interval_s = 5.0;
   long long max_bytes = -1;        // cache prune: -1 = not given
 };
 
@@ -166,6 +194,15 @@ void maybe_write_report(const SolvabilityResult& r, const CliOptions& cli) {
   std::printf("report:  %s\n", cli.report_path.c_str());
 }
 
+// Prometheus export of the global registry (counters, gauges, histograms),
+// written rename-atomically so a scraper never reads a torn file.
+void maybe_write_metrics(const CliOptions& cli) {
+  if (cli.metrics_path.empty()) return;
+  obs::atomic_write_file(cli.metrics_path,
+                         obs::MetricsRegistry::global().to_prometheus());
+  std::printf("metrics: %s\n", cli.metrics_path.c_str());
+}
+
 int cmd_check(const Task& task) {
   const auto errors = task.validate();
   std::printf("%s", task.summary().c_str());
@@ -204,6 +241,7 @@ int cmd_decide(const Task& task, const CliOptions& cli) {
     std::printf("cache:   %s\n", r.report->cache.c_str());
   }
   maybe_write_report(r, cli);
+  maybe_write_metrics(cli);
   if (r.characterization != nullptr) {
     // The characterization lane runs on a clone of the task, so the report
     // must be rendered against its own pool (it may not have run at all if
@@ -224,16 +262,28 @@ int cmd_batch(const CliOptions& cli) {
   }
   TraceSession trace(cli.trace_dir.empty() ? std::string()
                                            : cli.trace_dir + "/trace.json");
+  // The trace-dir metrics snapshot is republished rename-atomically every
+  // second during the run (same writer as the heartbeat), not only at the
+  // end — a killed batch leaves a valid, near-current metrics.json.
+  std::unique_ptr<obs::PeriodicSnapshotWriter> metrics_flush;
+  if (!cli.trace_dir.empty()) {
+    metrics_flush = std::make_unique<obs::PeriodicSnapshotWriter>(
+        cli.trace_dir + "/metrics.json", 1.0,
+        [] { return obs::MetricsRegistry::global().to_json(); });
+  }
   BatchOptions batch;
   batch.solve = cli.solve;
   batch.jobs = cli.jobs;
   batch.only = cli.tasks;
+  batch.heartbeat_file = cli.heartbeat_file;
+  batch.heartbeat_interval_s = cli.heartbeat_interval_s;
   const BatchResult result = run_batch(batch);
-  if (!cli.trace_dir.empty()) {
-    io::write_text_file(cli.trace_dir + "/metrics.json",
-                        obs::MetricsRegistry::global().to_json());
+  if (metrics_flush != nullptr) {
+    metrics_flush->stop();  // final flush with the end-of-run totals
+    metrics_flush.reset();
     std::printf("metrics: %s/metrics.json\n", cli.trace_dir.c_str());
   }
+  maybe_write_metrics(cli);
 
   std::printf("batch: %zu tasks, %d jobs, %.1f ms\n", result.tasks.size(),
               resolve_batch_jobs(cli.jobs), result.wall_ms);
@@ -304,6 +354,12 @@ int cmd_cache(const char* action, const CliOptions& cli) {
   std::fprintf(stderr, "unknown cache action '%s' (want stats|prune)\n",
                action);
   return 2;
+}
+
+int cmd_trace_stats(const char* path) {
+  const obs::TraceStats stats = obs::analyze_trace(io::read_file(path));
+  std::printf("%s", obs::format_trace_stats(stats).c_str());
+  return 0;
 }
 
 int cmd_fingerprint(const Task& task) {
@@ -497,6 +553,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
       if (i + 1 >= argc) return usage();
       cli.trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat-file") == 0) {
+      if (i + 1 >= argc) return usage();
+      cli.heartbeat_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat-interval") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const double s = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(s > 0.0) || s > 86400.0) {
+        std::fprintf(stderr,
+                     "error: --heartbeat-interval expects seconds in "
+                     "(0, 86400], got '%s'\n",
+                     argv[i]);
+        return usage();
+      }
+      cli.heartbeat_interval_s = s;
     } else {
       args.push_back(argv[i]);
     }
@@ -534,6 +608,10 @@ int main(int argc, char** argv) {
     if (command == "cache") {
       if (argc != 3) return usage();
       return cmd_cache(argv[2], cli);
+    }
+    if (command == "trace-stats") {
+      if (argc != 3) return usage();
+      return cmd_trace_stats(argv[2]);
     }
     if (argc < 3) return usage();
     const Task task = load(argv[2]);
